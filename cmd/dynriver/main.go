@@ -1,0 +1,181 @@
+// Command dynriver runs Dynamic River pipeline stages as networked
+// processes, demonstrating the paper's distributed deployment: a sensor
+// station source, relocatable processing segments, and a collecting sink
+// connect over TCP using streamin/streamout.
+//
+// A three-process pipeline on one machine:
+//
+//	dynriver sink -listen :7103
+//	dynriver segment -type extract -listen :7102 -to 127.0.0.1:7103
+//	dynriver station -to 127.0.0.1:7102 -clips 2
+//
+// The sink prints the ensembles it receives. Killing the segment process
+// mid-clip and restarting it demonstrates scope repair: the sink reports
+// BadCloseScope-discarded ensembles instead of corrupt ones.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"repro/internal/ops"
+	"repro/internal/pipeline"
+	"repro/internal/record"
+	"repro/internal/synth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "station":
+		err = runStation(os.Args[2:])
+	case "segment":
+		err = runSegment(os.Args[2:])
+	case "sink":
+		err = runSink(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynriver:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dynriver station -to HOST:PORT [-clips N] [-seed S] [-seconds SEC]
+  dynriver segment -type extract|spectral|full -listen ADDR -to HOST:PORT
+  dynriver sink -listen ADDR [-conns N]`)
+}
+
+func runStation(args []string) error {
+	fs := flag.NewFlagSet("station", flag.ExitOnError)
+	to := fs.String("to", "", "downstream address (required)")
+	clips := fs.Int("clips", 2, "clips to transmit")
+	seed := fs.Int64("seed", 1, "clip generator seed")
+	seconds := fs.Float64("seconds", 10, "seconds per clip")
+	name := fs.String("name", "kbs-01", "station name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("station: -to is required")
+	}
+	station := synth.NewStation(*name, *seed, synth.ClipConfig{Seconds: *seconds})
+	out := pipeline.NewStreamOut(*to)
+	defer out.Close()
+	p := pipeline.New().
+		SetSource(&ops.StationSource{Station: station, ClipCount: *clips}).
+		SetSink(out)
+	fmt.Printf("station %s: sending %d clip(s) of %.0fs to %s\n", *name, *clips, *seconds, *to)
+	return p.Run(interruptContext())
+}
+
+func runSegment(args []string) error {
+	fs := flag.NewFlagSet("segment", flag.ExitOnError)
+	typ := fs.String("type", "extract", "segment type: extract, spectral or full")
+	listen := fs.String("listen", ":0", "listen address for upstream records")
+	to := fs.String("to", "", "downstream address (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("segment: -to is required")
+	}
+	reg := pipeline.NewRegistry()
+	reg.Register("extract", func() []pipeline.Operator {
+		opsList, _, err := ops.ExtractionOps(ops.DefaultExtractConfig())
+		if err != nil {
+			panic(err)
+		}
+		return opsList
+	})
+	reg.Register("spectral", func() []pipeline.Operator { return ops.SpectralOps(10) })
+	reg.Register("full", func() []pipeline.Operator {
+		opsList, _, err := ops.ExtractionOps(ops.DefaultExtractConfig())
+		if err != nil {
+			panic(err)
+		}
+		return append(opsList, ops.SpectralOps(10)...)
+	})
+	node := pipeline.NewNode("cli", reg)
+	addr, err := node.Host("seg", *typ, *listen, *to)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("segment %q listening on %s, forwarding to %s\n", *typ, addr, *to)
+	<-interruptContext().Done()
+	return node.StopAll()
+}
+
+func runSink(args []string) error {
+	fs := flag.NewFlagSet("sink", flag.ExitOnError)
+	listen := fs.String("listen", ":0", "listen address")
+	conns := fs.Int("conns", 0, "stop after N upstream connections (0 = run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := pipeline.NewStreamIn(*listen)
+	if err != nil {
+		return err
+	}
+	in.MaxConns = *conns
+	fmt.Printf("sink listening on %s\n", in.Addr())
+	go func() {
+		<-interruptContext().Done()
+		in.Close()
+	}()
+	col := ops.NewEnsembleCollector()
+	report := pipeline.SinkFunc{SinkName: "report", Fn: func(r *record.Record) error {
+		switch {
+		case r.Kind == record.KindOpenScope && r.ScopeType == record.ScopeClip:
+			fmt.Printf("clip %s from station %s\n",
+				r.ContextValue(record.CtxClipID), r.ContextValue(record.CtxStation))
+		case r.Kind == record.KindBadCloseScope:
+			fmt.Printf("  !! scope %s repaired (upstream failure)\n", r.ScopeType)
+		}
+		return col.Consume(r)
+	}}
+	p := pipeline.New().SetSource(in).SetSink(report)
+	if err := p.Run(interruptContext()); err != nil {
+		return err
+	}
+	for i, e := range col.Ensembles() {
+		fmt.Printf("ensemble %d: %.2fs, %.3fs long, %d patterns\n",
+			i, e.StartSec, float64(len(e.Samples))/e.SampleRate, len(e.Patterns))
+	}
+	fmt.Printf("total ensembles: %d (discarded mid-failure: %d)\n", len(col.Ensembles()), col.Discarded())
+	return nil
+}
+
+var (
+	interruptOnce sync.Once
+	interruptCtx  context.Context
+)
+
+// interruptContext returns a process-wide context cancelled by
+// SIGINT/SIGTERM.
+func interruptContext() context.Context {
+	interruptOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		interruptCtx = ctx
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-ch
+			cancel()
+		}()
+	})
+	return interruptCtx
+}

@@ -1,0 +1,250 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section against the synthetic substrate:
+//
+//	table1     species census of the experimental data sets
+//	table2     MESO classification accuracy (LOO + resubstitution, 4 sets)
+//	table3     confusion matrix (PAA ensembles, leave-one-out)
+//	fig2       oscillogram + spectrogram of a clip
+//	fig3       spectrogram after PAA
+//	fig4       PAA -> SAX conversion example
+//	fig5       pipeline operator topology
+//	fig6       trigger signal and extracted ensembles
+//	reduction  ensemble-extraction data reduction (the ~80% headline)
+//
+// By default experiments run at a reduced -scale so the whole suite
+// finishes in seconds; -scale 1 -loo-reps 20 -resub-reps 100 reproduces
+// the paper's full protocol (allow considerable runtime).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dsp"
+	"repro/internal/experiments"
+	"repro/internal/synth"
+	"repro/internal/timeseries"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "experiment to run: all, table1, table2, table3, fig2, fig3, fig4, fig5, fig6, reduction")
+		scale     = flag.Float64("scale", 0.15, "dataset scale relative to the paper's Table 1 (1 = full)")
+		looReps   = flag.Int("loo-reps", 2, "leave-one-out repetitions (paper: 20)")
+		resubReps = flag.Int("resub-reps", 10, "resubstitution repetitions (paper: 100)")
+		maxFolds  = flag.Int("max-folds", 60, "cap on LOO folds per repetition (0 = all, as in the paper)")
+		seed      = flag.Int64("seed", 1, "random seed for synthetic data")
+		outDir    = flag.String("out", "", "directory for PGM figure renderings (empty = skip images)")
+		clips     = flag.Int("clips", 8, "clips for the reduction experiment")
+	)
+	flag.Parse()
+	cfg := experiments.Config{
+		Scale:     *scale,
+		LOOReps:   *looReps,
+		ResubReps: *resubReps,
+		MaxFolds:  *maxFolds,
+		Seed:      *seed,
+		Clips:     *clips,
+	}
+	if err := dispatch(*run, cfg, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(run string, cfg experiments.Config, outDir string) error {
+	todo := strings.Split(run, ",")
+	if run == "all" {
+		todo = []string{"table1", "reduction", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6"}
+	}
+	for _, name := range todo {
+		fmt.Printf("==== %s ====\n", name)
+		var err error
+		switch name {
+		case "table1":
+			err = runTable1(cfg)
+		case "table2":
+			err = runTable2(cfg)
+		case "table3":
+			err = runTable3(cfg)
+		case "fig2":
+			err = runFig2(cfg, outDir, false)
+		case "fig3":
+			err = runFig2(cfg, outDir, true)
+		case "fig4":
+			err = runFig4()
+		case "fig5":
+			runFig5()
+		case "fig6":
+			err = runFig6(cfg)
+		case "reduction":
+			err = runReduction(cfg)
+		default:
+			err = fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runTable1(cfg experiments.Config) error {
+	census, err := experiments.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-26s %9s %10s\n", "Code", "Common name", "Patterns", "Ensembles")
+	var pats, ens int
+	for _, c := range census {
+		fmt.Printf("%-6s %-26s %9d %10d\n", c.Code, c.Name, c.Patterns, c.Ensembles)
+		pats += c.Patterns
+		ens += c.Ensembles
+	}
+	fmt.Printf("%-6s %-26s %9d %10d\n", "total", "", pats, ens)
+	return nil
+}
+
+func runTable2(cfg experiments.Config) error {
+	rows, err := experiments.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %-16s %10s %9s %9s %9s\n",
+		"Data set", "Protocol", "Accuracy", "±Std", "Train(s)", "Test(s)")
+	for _, r := range rows {
+		fmt.Printf("%-14s %-16s %9.1f%% %8.1f%% %9.2f %9.2f\n",
+			r.Dataset, r.Protocol, r.Result.MeanAccuracy*100, r.Result.StdDev*100,
+			r.Result.TrainTime, r.Result.TestTime)
+	}
+	return nil
+}
+
+func runTable3(cfg experiments.Config) error {
+	m, err := experiments.Table3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Confusion matrix (PAA ensembles, leave-one-out; row = actual, % of row):")
+	fmt.Print(m.Format())
+	fmt.Printf("overall accuracy: %.1f%%\n", m.Accuracy()*100)
+	return nil
+}
+
+func runFig2(cfg experiments.Config, outDir string, paa bool) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	clip, err := synth.GenerateClip(rng, synth.ClipConfig{Seconds: 10, Events: 3})
+	if err != nil {
+		return err
+	}
+	if !paa {
+		fmt.Println("Oscillogram (normalized amplitude):")
+		fmt.Print(experiments.Oscillogram(clip.Samples, 96, 10))
+	}
+	sg, err := dsp.ComputeSpectrogram(clip.Samples, dsp.SpectrogramConfig{
+		SampleRate: clip.SampleRate,
+		FrameLen:   1024,
+		Hop:        1024,
+	})
+	if err != nil {
+		return err
+	}
+	name := "fig2"
+	if paa {
+		name = "fig3"
+		sg = experiments.PAASpectrogram(sg, 10)
+		fmt.Println("Spectrogram after PAA (10x reduction per column):")
+	} else {
+		fmt.Println("Spectrogram (0-12.3 kHz, time left to right):")
+	}
+	fmt.Print(sg.ASCII(96, 16))
+	for _, e := range clip.Events {
+		fmt.Printf("ground truth: %s at %.2fs-%.2fs\n", e.Species,
+			float64(e.Start)/clip.SampleRate, float64(e.End)/clip.SampleRate)
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, name+".pgm")
+		if err := os.WriteFile(path, sg.PGM(), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func runFig4() error {
+	// The paper's example: a short series converted to PAA then SAX with
+	// alphabet 5.
+	series := make([]float64, 180)
+	for i := range series {
+		t := float64(i) / 60
+		series[i] = -1.5 + 3*t*0.33 + 0.8*float64(i%13)/13
+	}
+	sax, err := timeseries.NewSAX(5)
+	if err != nil {
+		return err
+	}
+	norm := timeseries.ZNormalize(series)
+	paa, err := timeseries.PAA(norm, 18)
+	if err != nil {
+		return err
+	}
+	word := sax.WordOfNormalized(paa)
+	fmt.Println("Z-normalized series reduced to 18 PAA segments, alphabet 5:")
+	fmt.Print("PAA:  ")
+	for _, v := range paa {
+		fmt.Printf("%6.2f", v)
+	}
+	fmt.Println()
+	fmt.Print("SAX:  ")
+	for _, s := range word {
+		fmt.Printf("%6d", s+1) // paper numbers symbols from 1
+	}
+	fmt.Println()
+	fmt.Printf("word: %s\n", timeseries.WordString(word, 5))
+	return nil
+}
+
+func runFig5() {
+	fmt.Println("Acquisition: station -> readout(storage)")
+	fmt.Println("Analysis pipeline (Figure 5):")
+	p := experiments.Figure5Pipeline()
+	fmt.Println(" ", p.Topology())
+}
+
+func runFig6(cfg experiments.Config) error {
+	fig, err := experiments.Figure6(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Trigger signal (1 = ensemble open):")
+	fmt.Print(experiments.BinaryTrace(fig.Trigger, 96))
+	fmt.Println("Extracted ensembles over original signal:")
+	fmt.Print(experiments.Oscillogram(fig.Masked, 96, 10))
+	fmt.Printf("%d ensembles extracted; reduction %.1f%%\n", fig.Ensembles, fig.Reduction*100)
+	for _, e := range fig.Events {
+		fmt.Printf("ground truth: %s at %.2fs-%.2fs\n", e.Species, e.StartSec, e.EndSec)
+	}
+	return nil
+}
+
+func runReduction(cfg experiments.Config) error {
+	red, err := experiments.Reduction(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clips: %d (%.0f s of audio)\n", red.Clips, red.Seconds)
+	fmt.Printf("samples in:   %12d\n", red.SamplesIn)
+	fmt.Printf("samples kept: %12d\n", red.SamplesKept)
+	fmt.Printf("ensembles:    %12d\n", red.Ensembles)
+	fmt.Printf("data reduction: %.1f%%  (paper: 80.6%%)\n", red.Reduction*100)
+	return nil
+}

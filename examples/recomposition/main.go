@@ -1,0 +1,127 @@
+// Recomposition: demonstrates Dynamic River's headline systems feature —
+// moving a pipeline segment between hosts mid-stream, and recovering from
+// an upstream host being killed while scopes are open. The terminal stage
+// validates every record against the scope rules and reports the
+// BadCloseScope repairs that keep the stream meaningful.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/ops"
+	"repro/internal/pipeline"
+	"repro/internal/record"
+	"repro/internal/synth"
+)
+
+func main() {
+	// Registry of segment types any node can instantiate.
+	reg := pipeline.NewRegistry()
+	reg.Register("extract", func() []pipeline.Operator {
+		opsList, _, err := ops.ExtractionOps(ops.DefaultExtractConfig())
+		if err != nil {
+			panic(err)
+		}
+		return opsList
+	})
+
+	// Terminal stage: validates scope structure of everything it sees.
+	terminal, err := pipeline.NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	terminal.MaxConns = 2 // one connection from host A, one from host B
+	terminal.IdleTimeout = 10 * time.Second
+	tracker := record.NewTracker()
+	var ensembles, badCloses int
+	validate := pipeline.SinkFunc{SinkName: "validate", Fn: func(r *record.Record) error {
+		if err := tracker.Observe(r); err != nil {
+			return fmt.Errorf("scope violation: %w", err)
+		}
+		switch {
+		case r.Kind == record.KindCloseScope && r.ScopeType == record.ScopeEnsemble:
+			ensembles++
+		case r.Kind == record.KindBadCloseScope:
+			badCloses++
+			fmt.Printf("terminal: repaired %s scope after upstream loss\n", r.ScopeType)
+		}
+		return nil
+	}}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := pipeline.New().SetSource(terminal).SetSink(validate)
+		if err := p.Run(context.Background()); err != nil {
+			log.Println("terminal:", err)
+		}
+	}()
+
+	nodeA := pipeline.NewNode("host-a", reg)
+	nodeB := pipeline.NewNode("host-b", reg)
+
+	// Phase 1: the extraction segment runs on host A.
+	addrA, err := nodeA.Host("extract", "extract", "127.0.0.1:0", terminal.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("phase 1: extraction segment on host-a at", addrA)
+	upstream := pipeline.NewStreamOut(addrA)
+	defer upstream.Close()
+
+	station := synth.NewStation("kbs-01", 11, synth.ClipConfig{Seconds: 8, Events: 2})
+	sendClip := func() {
+		clip, id, err := station.NextClip()
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := ops.Clip{ID: id, Station: station.Name, SampleRate: clip.SampleRate, Samples: clip.Samples}
+		feed := pipeline.EmitterFunc(func(r *record.Record) error { return upstream.Consume(r) })
+		if err := ops.EmitClip(feed, &c); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("station: sent clip %s\n", id)
+	}
+	sendClip()
+	time.Sleep(200 * time.Millisecond)
+
+	// Phase 2: move the segment to host B while the pipeline is live.
+	coord := pipeline.NewCoordinator(reg)
+	addrB, err := coord.Move("extract", "extract", nodeA, nodeB, upstream, terminal.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("phase 2: segment moved to host-b at", addrB)
+	sendClip()
+	time.Sleep(200 * time.Millisecond)
+
+	// Phase 3: kill host B mid-clip — leave a clip scope open, then stop
+	// the node. The terminal repairs the dangling scopes.
+	open := record.NewOpenScope(record.ScopeClip, 0)
+	open.SetContext(map[string]string{record.CtxSampleRate: "24576", record.CtxClipID: "doomed"})
+	if err := upstream.Consume(open); err != nil {
+		log.Fatal(err)
+	}
+	data := record.NewData(record.SubtypeAudio)
+	data.SetFloat64s(make([]float64, ops.RecordSamples))
+	if err := upstream.Consume(data); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	fmt.Println("phase 3: killing host-b mid-clip")
+	if err := nodeB.StopAll(); err != nil {
+		log.Println("host-b:", err)
+	}
+	upstream.Close()
+	wg.Wait()
+
+	fmt.Printf("\nterminal survived: %d ensembles delivered, %d scope repairs, 0 scope violations\n",
+		ensembles, badCloses)
+	if tracker.Depth() != 0 {
+		log.Fatalf("stream ended with %d scopes open", tracker.Depth())
+	}
+}

@@ -1,0 +1,121 @@
+// Survey: a distributed bird survey over TCP. Three pipeline stages run
+// as independent goroutines connected by streamin/streamout exactly as
+// they would run on three hosts (the paper's Figure 5 deployment): a
+// sensor station transmits clips, a relay host extracts ensembles and
+// computes spectral patterns, and an observatory host classifies every
+// ensemble against a trained MESO memory and prints the species survey.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/meso"
+	"repro/internal/ops"
+	"repro/internal/pipeline"
+	"repro/internal/record"
+	"repro/internal/synth"
+)
+
+func main() {
+	// Train the observatory's classifier on a synthetic reference corpus.
+	counts := core.ScaleCounts(core.PaperCounts(), 0.06)
+	ds, err := core.BuildDataset(core.DatasetConfig{Counts: counts, PAAFactor: 10, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	classifier := core.NewClassifier(meso.Config{DeltaFraction: 0.45})
+	for _, e := range ds.Ensembles {
+		if err := classifier.TrainEnsemble(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("observatory: trained on %d ensembles of %d species\n",
+		len(ds.Ensembles), len(classifier.MESO().Labels()))
+
+	// --- Observatory host: classify incoming patterns. ---
+	observatoryIn, err := pipeline.NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	observatoryIn.MaxConns = 1
+	surveyCounts := make(map[string]int)
+	col := ops.NewEnsembleCollector()
+	classify := pipeline.SinkFunc{SinkName: "observatory", Fn: func(r *record.Record) error {
+		if err := col.Consume(r); err != nil {
+			return err
+		}
+		if r.Kind == record.KindCloseScope && r.ScopeType == record.ScopeEnsemble {
+			all := col.Ensembles()
+			e := all[len(all)-1]
+			if len(e.Patterns) == 0 {
+				return nil
+			}
+			vote, err := classifier.ClassifyEnsemble(e.Patterns)
+			if err != nil {
+				return err
+			}
+			surveyCounts[vote.Label]++
+			fmt.Printf("observatory: ensemble at %7.2fs -> %s (%.0f%% of %d votes)\n",
+				e.StartSec, vote.Label, vote.Confidence*100, len(e.Patterns))
+		}
+		return nil
+	}}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := pipeline.New().SetSource(observatoryIn).SetSink(classify)
+		if err := p.Run(context.Background()); err != nil {
+			log.Println("observatory:", err)
+		}
+	}()
+
+	// --- Relay host: extraction + spectral processing. ---
+	reg := pipeline.NewRegistry()
+	reg.Register("analysis", func() []pipeline.Operator {
+		extractOps, _, err := ops.ExtractionOps(ops.DefaultExtractConfig())
+		if err != nil {
+			panic(err)
+		}
+		return append(extractOps, ops.SpectralOps(10)...)
+	})
+	relay := pipeline.NewNode("relay", reg)
+	relayAddr, err := relay.Host("analysis", "analysis", "127.0.0.1:0", observatoryIn.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relay: hosting analysis segment on %s\n", relayAddr)
+
+	// --- Sensor station: transmit clips over TCP. ---
+	station := synth.NewStation("kbs-07", 99, synth.ClipConfig{Seconds: 20, Events: 3})
+	stationOut := pipeline.NewStreamOut(relayAddr)
+	src := &ops.StationSource{Station: station, ClipCount: 2}
+	p := pipeline.New().SetSource(src).SetSink(stationOut)
+	fmt.Println("station: transmitting 2 clips")
+	if err := p.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	stationOut.Close()
+
+	// Drain: stop the relay (its streamout closes, ending the
+	// observatory's single allowed connection).
+	if err := relay.StopAll(); err != nil {
+		log.Println("relay:", err)
+	}
+	wg.Wait()
+
+	fmt.Println("\nspecies survey:")
+	species := make([]string, 0, len(surveyCounts))
+	for s := range surveyCounts {
+		species = append(species, s)
+	}
+	sort.Strings(species)
+	for _, s := range species {
+		fmt.Printf("  %s: %d vocalization(s)\n", s, surveyCounts[s])
+	}
+}

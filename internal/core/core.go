@@ -1,0 +1,324 @@
+// Package core is the high-level API of the reproduction: it composes the
+// Dynamic River operators into the paper's processing chain and exposes
+// batch-friendly entry points — extract ensembles from a clip, convert
+// ensembles to feature patterns, train and query the MESO classifier, and
+// run the full clip-to-species analysis.
+//
+// The operators themselves (internal/ops) remain available for streaming
+// and distributed deployments; core drives them in-process for analysis
+// and experimentation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/meso"
+	"repro/internal/ops"
+	"repro/internal/pipeline"
+	"repro/internal/record"
+)
+
+// ExtractResult reports the outcome of ensemble extraction over one or
+// more clips.
+type ExtractResult struct {
+	// Ensembles in clip order.
+	Ensembles []ops.Ensemble
+	// SamplesIn and SamplesKept measure the data reduction.
+	SamplesIn, SamplesKept uint64
+}
+
+// Reduction returns the fraction of input discarded (paper: ~0.806).
+func (r *ExtractResult) Reduction() float64 {
+	if r.SamplesIn == 0 {
+		return 0
+	}
+	return 1 - float64(r.SamplesKept)/float64(r.SamplesIn)
+}
+
+// Extractor extracts ensembles from acoustic clips using the saxanomaly ->
+// trigger -> cutter segment. An Extractor is single-use per Extract call
+// chain but cheap to construct; it is not safe for concurrent use.
+type Extractor struct {
+	cfg ops.ExtractConfig
+}
+
+// NewExtractor returns an extractor. A zero config selects the paper's
+// parameters.
+func NewExtractor(cfg ops.ExtractConfig) *Extractor {
+	return &Extractor{cfg: cfg}
+}
+
+// Extract runs the extraction segment over the clips and collects the
+// resulting ensembles.
+func (e *Extractor) Extract(clips ...ops.Clip) (*ExtractResult, error) {
+	opsList, cutter, err := ops.ExtractionOps(e.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: extractor: %w", err)
+	}
+	seg := pipeline.NewSegment("extract", opsList...)
+	col := ops.NewEnsembleCollector()
+	sink := pipeline.EmitterFunc(func(r *record.Record) error { return col.Consume(r) })
+	for i := range clips {
+		if err := driveClip(seg, &clips[i], sink); err != nil {
+			return nil, err
+		}
+	}
+	if err := seg.FlushAll(sink); err != nil {
+		return nil, err
+	}
+	return &ExtractResult{
+		Ensembles:   col.Ensembles(),
+		SamplesIn:   cutter.SamplesIn(),
+		SamplesKept: cutter.SamplesKept(),
+	}, nil
+}
+
+// driveClip pushes one clip's records through a segment synchronously.
+func driveClip(seg *pipeline.Segment, c *ops.Clip, sink pipeline.Emitter) error {
+	feed := pipeline.EmitterFunc(func(r *record.Record) error {
+		return seg.ProcessOne(r, sink)
+	})
+	return ops.EmitClip(feed, c)
+}
+
+// Featurizer converts time-domain ensembles into classification patterns
+// using the spectral segment (reslice -> welchwindow -> float2cplx -> dft
+// -> cabs -> cutout -> [paa] -> rec2vect).
+type Featurizer struct {
+	// PAAFactor reduces each spectral record by this factor; <= 1 keeps
+	// the full 1050 features, 10 gives the paper's 105-feature patterns.
+	PAAFactor int
+}
+
+// Features converts one ensemble to its patterns. The ensemble must carry
+// time-domain samples and a sample rate.
+func (f *Featurizer) Features(e ops.Ensemble) ([][]float64, error) {
+	if len(e.Samples) == 0 {
+		return nil, fmt.Errorf("core: featurizer: ensemble has no samples")
+	}
+	if e.SampleRate <= 0 {
+		return nil, fmt.Errorf("core: featurizer: ensemble has no sample rate")
+	}
+	seg := pipeline.NewSegment("spectral", ops.SpectralOps(f.PAAFactor)...)
+	col := ops.NewEnsembleCollector()
+	sink := pipeline.EmitterFunc(func(r *record.Record) error { return col.Consume(r) })
+	if err := driveEnsemble(seg, e, sink); err != nil {
+		return nil, err
+	}
+	if err := seg.FlushAll(sink); err != nil {
+		return nil, err
+	}
+	out := col.Ensembles()
+	if len(out) != 1 {
+		return nil, fmt.Errorf("core: featurizer: expected 1 ensemble out, got %d", len(out))
+	}
+	return out[0].Patterns, nil
+}
+
+// FeaturesAll featurizes a batch of ensembles, skipping those too short to
+// produce a pattern.
+func (f *Featurizer) FeaturesAll(ens []ops.Ensemble) ([]LabelledEnsemble, error) {
+	var out []LabelledEnsemble
+	for i := range ens {
+		pats, err := f.Features(ens[i])
+		if err != nil {
+			return nil, fmt.Errorf("ensemble %d: %w", i, err)
+		}
+		if len(pats) == 0 {
+			continue
+		}
+		out = append(out, LabelledEnsemble{
+			Label:    ens[i].Species,
+			StartSec: ens[i].StartSec,
+			Patterns: pats,
+		})
+	}
+	return out, nil
+}
+
+func driveEnsemble(seg *pipeline.Segment, e ops.Ensemble, sink pipeline.Emitter) error {
+	feed := pipeline.EmitterFunc(func(r *record.Record) error {
+		return seg.ProcessOne(r, sink)
+	})
+	clipOpen := record.NewOpenScope(record.ScopeClip, 0)
+	clipOpen.SetContext(map[string]string{
+		record.CtxSampleRate: fmt.Sprintf("%g", e.SampleRate),
+	})
+	if err := feed.Emit(clipOpen); err != nil {
+		return err
+	}
+	ensOpen := record.NewOpenScope(record.ScopeEnsemble, 1)
+	ctx := map[string]string{record.CtxSampleRate: fmt.Sprintf("%g", e.SampleRate)}
+	if e.Species != "" {
+		ctx[record.CtxSpecies] = e.Species
+	}
+	ensOpen.SetContext(ctx)
+	if err := feed.Emit(ensOpen); err != nil {
+		return err
+	}
+	for start := 0; start < len(e.Samples); start += ops.RecordSamples {
+		end := start + ops.RecordSamples
+		payload := make([]float64, ops.RecordSamples)
+		if end > len(e.Samples) {
+			end = len(e.Samples)
+		}
+		copy(payload, e.Samples[start:end])
+		r := record.NewData(record.SubtypeAudio)
+		r.Scope = 2
+		r.ScopeType = record.ScopeEnsemble
+		r.SetFloat64s(payload)
+		if err := feed.Emit(r); err != nil {
+			return err
+		}
+	}
+	if err := feed.Emit(record.NewCloseScope(record.ScopeEnsemble, 1)); err != nil {
+		return err
+	}
+	return feed.Emit(record.NewCloseScope(record.ScopeClip, 0))
+}
+
+// LabelledEnsemble is an ensemble reduced to its patterns plus ground
+// truth, the unit of the paper's classification experiments.
+type LabelledEnsemble struct {
+	Label    string
+	StartSec float64
+	Patterns [][]float64
+}
+
+// Classifier wraps MESO with the paper's ensemble voting: each pattern of
+// an ensemble is classified independently and votes for a species; the
+// majority wins. Classifier is not safe for concurrent use.
+type Classifier struct {
+	m *meso.MESO
+}
+
+// NewClassifier returns a classifier backed by a fresh MESO instance.
+func NewClassifier(cfg meso.Config) *Classifier {
+	return &Classifier{m: meso.New(cfg)}
+}
+
+// MESO exposes the underlying memory for inspection.
+func (c *Classifier) MESO() *meso.MESO { return c.m }
+
+// TrainEnsemble trains on every pattern of a labelled ensemble.
+func (c *Classifier) TrainEnsemble(e LabelledEnsemble) error {
+	for i, p := range e.Patterns {
+		if err := c.m.Train(meso.Pattern{Vector: p, Label: e.Label}); err != nil {
+			return fmt.Errorf("core: train pattern %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TrainPattern trains on a single labelled pattern.
+func (c *Classifier) TrainPattern(label string, v []float64) error {
+	return c.m.Train(meso.Pattern{Vector: v, Label: label})
+}
+
+// ClassifyPattern classifies one pattern.
+func (c *Classifier) ClassifyPattern(v []float64) (string, error) {
+	res, err := c.m.Classify(v)
+	if err != nil {
+		return "", err
+	}
+	return res.Label, nil
+}
+
+// Vote is an ensemble classification outcome.
+type Vote struct {
+	// Label is the winning species.
+	Label string
+	// Votes maps each species to the number of patterns that voted for
+	// it.
+	Votes map[string]int
+	// Confidence is the winning fraction of votes.
+	Confidence float64
+}
+
+// ClassifyEnsemble classifies each pattern of the ensemble independently
+// and returns the majority vote, the paper's testing procedure. Ties break
+// lexicographically for determinism.
+func (c *Classifier) ClassifyEnsemble(patterns [][]float64) (Vote, error) {
+	if len(patterns) == 0 {
+		return Vote{}, fmt.Errorf("core: classify: ensemble has no patterns")
+	}
+	votes := make(map[string]int)
+	for i, p := range patterns {
+		label, err := c.ClassifyPattern(p)
+		if err != nil {
+			return Vote{}, fmt.Errorf("core: classify pattern %d: %w", i, err)
+		}
+		votes[label]++
+	}
+	labels := make([]string, 0, len(votes))
+	for l := range votes {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	best := labels[0]
+	for _, l := range labels[1:] {
+		if votes[l] > votes[best] {
+			best = l
+		}
+	}
+	return Vote{
+		Label:      best,
+		Votes:      votes,
+		Confidence: float64(votes[best]) / float64(len(patterns)),
+	}, nil
+}
+
+// Detection is one recognized vocalization within a clip.
+type Detection struct {
+	Species    string
+	StartSec   float64
+	DurSec     float64
+	Confidence float64
+	Votes      map[string]int
+}
+
+// Analyzer is the end-to-end clip analysis: extraction, featurization and
+// classification, as the full pipeline of Figure 5 would perform online.
+type Analyzer struct {
+	Extract    ops.ExtractConfig
+	PAAFactor  int
+	classifier *Classifier
+}
+
+// NewAnalyzer returns an analyzer using the given trained classifier.
+// PAAFactor must match the classifier's training features.
+func NewAnalyzer(extract ops.ExtractConfig, paaFactor int, classifier *Classifier) *Analyzer {
+	return &Analyzer{Extract: extract, PAAFactor: paaFactor, classifier: classifier}
+}
+
+// Analyze extracts ensembles from the clip and classifies each.
+func (a *Analyzer) Analyze(clip ops.Clip) ([]Detection, *ExtractResult, error) {
+	ext, err := NewExtractor(a.Extract).Extract(clip)
+	if err != nil {
+		return nil, nil, err
+	}
+	fz := &Featurizer{PAAFactor: a.PAAFactor}
+	var dets []Detection
+	for _, e := range ext.Ensembles {
+		pats, err := fz.Features(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(pats) == 0 {
+			continue
+		}
+		vote, err := a.classifier.ClassifyEnsemble(pats)
+		if err != nil {
+			return nil, nil, err
+		}
+		dets = append(dets, Detection{
+			Species:    vote.Label,
+			StartSec:   e.StartSec,
+			DurSec:     float64(len(e.Samples)) / e.SampleRate,
+			Confidence: vote.Confidence,
+			Votes:      vote.Votes,
+		})
+	}
+	return dets, ext, nil
+}

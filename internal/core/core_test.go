@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/meso"
+	"repro/internal/ops"
+	"repro/internal/synth"
+)
+
+func TestExtractorOnSyntheticClip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	clip, err := synth.GenerateClip(rng, synth.ClipConfig{Seconds: 12, Events: 2, Species: []string{"NOCA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := NewExtractor(ops.DefaultExtractConfig()).Extract(ops.Clip{
+		ID:         "c1",
+		SampleRate: clip.SampleRate,
+		Samples:    clip.Samples,
+		Species:    "NOCA",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Ensembles) == 0 {
+		t.Fatal("no ensembles")
+	}
+	if ext.SamplesIn != uint64(len(clip.Samples)) {
+		t.Errorf("SamplesIn = %d", ext.SamplesIn)
+	}
+	if red := ext.Reduction(); red <= 0 || red >= 1 {
+		t.Errorf("Reduction = %v", red)
+	}
+	for _, e := range ext.Ensembles {
+		if e.Species != "NOCA" {
+			t.Errorf("ensemble species = %q", e.Species)
+		}
+	}
+}
+
+func TestExtractorMultipleClips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var clips []ops.Clip
+	for i := 0; i < 2; i++ {
+		c, err := synth.GenerateClip(rng, synth.ClipConfig{Seconds: 8, Events: 1, Species: []string{"BLJA"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clips = append(clips, ops.Clip{ID: "c", SampleRate: c.SampleRate, Samples: c.Samples})
+	}
+	ext, err := NewExtractor(ops.DefaultExtractConfig()).Extract(clips...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.SamplesIn != uint64(len(clips[0].Samples)+len(clips[1].Samples)) {
+		t.Errorf("SamplesIn = %d", ext.SamplesIn)
+	}
+}
+
+func TestFeaturizerGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sp, _ := synth.ByCode("TUTI")
+	ens, err := renderEnsemble(rng, sp, 4, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &Featurizer{PAAFactor: 1}
+	pats, err := full.Features(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) < 4 {
+		t.Fatalf("patterns = %d, want >= 4", len(pats))
+	}
+	for _, p := range pats {
+		if len(p) != 1050 {
+			t.Fatalf("feature count = %d, want 1050", len(p))
+		}
+	}
+	paa := &Featurizer{PAAFactor: 10}
+	pats10, err := paa.Features(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats10[0]) != 105 {
+		t.Fatalf("PAA feature count = %d, want 105", len(pats10[0]))
+	}
+}
+
+func TestFeaturizerErrors(t *testing.T) {
+	f := &Featurizer{}
+	if _, err := f.Features(ops.Ensemble{SampleRate: 1}); err == nil {
+		t.Error("empty samples should error")
+	}
+	if _, err := f.Features(ops.Ensemble{Samples: []float64{1}}); err == nil {
+		t.Error("missing sample rate should error")
+	}
+}
+
+func TestClassifierEnsembleVoting(t *testing.T) {
+	c := NewClassifier(meso.Config{})
+	// Two species with distinct synthetic patterns.
+	mk := func(base float64) [][]float64 {
+		var out [][]float64
+		for i := 0; i < 8; i++ {
+			out = append(out, []float64{base + float64(i)*0.01, base * 2})
+		}
+		return out
+	}
+	if err := c.TrainEnsemble(LabelledEnsemble{Label: "A", Patterns: mk(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TrainEnsemble(LabelledEnsemble{Label: "B", Patterns: mk(5)}); err != nil {
+		t.Fatal(err)
+	}
+	vote, err := c.ClassifyEnsemble(mk(1.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vote.Label != "A" {
+		t.Errorf("vote = %+v, want A", vote)
+	}
+	if vote.Confidence <= 0.5 {
+		t.Errorf("confidence = %v", vote.Confidence)
+	}
+	total := 0
+	for _, n := range vote.Votes {
+		total += n
+	}
+	if total != 8 {
+		t.Errorf("votes sum to %d, want 8", total)
+	}
+	if _, err := c.ClassifyEnsemble(nil); err == nil {
+		t.Error("empty ensemble should error")
+	}
+}
+
+func TestDistribute(t *testing.T) {
+	tests := []struct {
+		total, parts int
+		want         []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{9, 3, []int{3, 3, 3}},
+		{5, 5, []int{1, 1, 1, 1, 1}},
+		{7, 2, []int{4, 3}},
+	}
+	for _, tt := range tests {
+		got := distribute(tt.total, tt.parts)
+		sum := 0
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("distribute(%d,%d) = %v, want %v", tt.total, tt.parts, got, tt.want)
+				break
+			}
+			sum += got[i]
+		}
+		if sum != tt.total {
+			t.Errorf("distribute(%d,%d) sums to %d", tt.total, tt.parts, sum)
+		}
+	}
+}
+
+func TestScaleCounts(t *testing.T) {
+	scaled := ScaleCounts(PaperCounts(), 0.1)
+	if len(scaled) != 10 {
+		t.Fatalf("scaled species = %d", len(scaled))
+	}
+	for _, c := range scaled {
+		if c.Ensembles < 1 || c.Patterns < c.Ensembles {
+			t.Errorf("%s: bad scaled counts %+v", c.Code, c)
+		}
+	}
+	// AMGO 42 ensembles -> ~4.
+	if scaled[0].Ensembles < 3 || scaled[0].Ensembles > 5 {
+		t.Errorf("AMGO scaled ensembles = %d", scaled[0].Ensembles)
+	}
+}
+
+func TestBuildDatasetMatchesCensus(t *testing.T) {
+	counts := ScaleCounts(PaperCounts(), 0.04) // small but full 10 species
+	ds, err := BuildDataset(DatasetConfig{Counts: counts, PAAFactor: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := CensusOf(ds)
+	if len(census) != 10 {
+		t.Fatalf("census species = %d", len(census))
+	}
+	wantByCode := make(map[string]SpeciesCounts)
+	for _, c := range counts {
+		wantByCode[c.Code] = c
+	}
+	for _, got := range census {
+		want := wantByCode[got.Code]
+		if got.Ensembles != want.Ensembles || got.Patterns != want.Patterns {
+			t.Errorf("%s: census %d/%d, want %d/%d",
+				got.Code, got.Patterns, got.Ensembles, want.Patterns, want.Ensembles)
+		}
+	}
+	for _, e := range ds.Ensembles {
+		for _, p := range e.Patterns {
+			if len(p) != 105 {
+				t.Fatalf("pattern dim = %d", len(p))
+			}
+		}
+	}
+	if ds.PatternCount() != len(ds.Patterns()) {
+		t.Error("PatternCount inconsistent with Patterns()")
+	}
+}
+
+func TestBuildDatasetInvalidCensus(t *testing.T) {
+	if _, err := BuildDataset(DatasetConfig{Counts: []SpeciesCounts{{Code: "AMGO", Patterns: 1, Ensembles: 2}}}); err == nil {
+		t.Error("patterns < ensembles should error")
+	}
+	if _, err := BuildDataset(DatasetConfig{Counts: []SpeciesCounts{{Code: "ZZZZ", Patterns: 2, Ensembles: 1}}}); err == nil {
+		t.Error("unknown species should error")
+	}
+}
+
+func TestPaperCountsTotals(t *testing.T) {
+	var pats, ens int
+	for _, c := range PaperCounts() {
+		pats += c.Patterns
+		ens += c.Ensembles
+	}
+	if pats != 3673 {
+		t.Errorf("total patterns = %d, want 3673", pats)
+	}
+	if ens != 473 {
+		t.Errorf("total ensembles = %d, want 473", ens)
+	}
+}
+
+func TestAnalyzerEndToEnd(t *testing.T) {
+	// Train on a small two-species dataset, then analyze a clip
+	// containing one of them.
+	counts := []SpeciesCounts{
+		{Code: "NOCA", Patterns: 24, Ensembles: 4},
+		{Code: "BCCH", Patterns: 24, Ensembles: 4},
+	}
+	ds, err := BuildDataset(DatasetConfig{Counts: counts, PAAFactor: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := NewClassifier(meso.Config{})
+	for _, e := range ds.Ensembles {
+		if err := cls.TrainEnsemble(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(13))
+	clip, err := synth.GenerateClip(rng, synth.ClipConfig{Seconds: 12, Events: 2, Species: []string{"NOCA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer(ops.DefaultExtractConfig(), 10, cls)
+	dets, ext, err := an.Analyze(ops.Clip{ID: "a", SampleRate: clip.SampleRate, Samples: clip.Samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Fatal("no detections")
+	}
+	if ext.Reduction() <= 0 {
+		t.Error("no reduction measured")
+	}
+	noca := 0
+	for _, d := range dets {
+		if d.Species == "NOCA" {
+			noca++
+		}
+		if d.Confidence <= 0 || d.Confidence > 1 {
+			t.Errorf("confidence = %v", d.Confidence)
+		}
+		if d.DurSec <= 0 {
+			t.Errorf("duration = %v", d.DurSec)
+		}
+	}
+	if noca == 0 {
+		t.Error("no detection classified as NOCA")
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ops"
+	"repro/internal/synth"
+)
+
+// SpeciesCounts is one row of the paper's Table 1: how many patterns and
+// ensembles a species contributes to the experimental data sets.
+type SpeciesCounts struct {
+	Code      string
+	Name      string
+	Patterns  int
+	Ensembles int
+}
+
+// PaperCounts returns Table 1 exactly: 3,673 patterns across 473
+// ensembles of 10 species.
+func PaperCounts() []SpeciesCounts {
+	return []SpeciesCounts{
+		{"AMGO", "American goldfinch", 229, 42},
+		{"BCCH", "Black capped chickadee", 672, 68},
+		{"BLJA", "Blue Jay", 318, 51},
+		{"DOWO", "Downy woodpecker", 272, 50},
+		{"HOFI", "House finch", 223, 26},
+		{"MODO", "Mourning dove", 338, 24},
+		{"NOCA", "Northern cardinal", 395, 42},
+		{"RWBL", "Red winged blackbird", 211, 27},
+		{"TUTI", "Tufted titmouse", 339, 59},
+		{"WBNU", "White breasted nuthatch", 676, 84},
+	}
+}
+
+// ScaleCounts proportionally shrinks Table 1 for faster experiment runs,
+// keeping at least one ensemble and one pattern per ensemble per species.
+// scale=1 returns the paper's counts.
+func ScaleCounts(counts []SpeciesCounts, scale float64) []SpeciesCounts {
+	out := make([]SpeciesCounts, len(counts))
+	for i, c := range counts {
+		e := int(float64(c.Ensembles)*scale + 0.5)
+		if e < 1 {
+			e = 1
+		}
+		p := int(float64(c.Patterns)*scale + 0.5)
+		if p < e {
+			p = e
+		}
+		out[i] = SpeciesCounts{Code: c.Code, Name: c.Name, Patterns: p, Ensembles: e}
+	}
+	return out
+}
+
+// Dataset is a labelled corpus matching a Table 1 census: per-species
+// ensembles with per-ensemble patterns.
+type Dataset struct {
+	// Ensembles in randomized construction order.
+	Ensembles []LabelledEnsemble
+	// Counts is the census the dataset was built to.
+	Counts []SpeciesCounts
+	// PAAFactor used during featurization.
+	PAAFactor int
+}
+
+// PatternCount returns the total number of patterns.
+func (d *Dataset) PatternCount() int {
+	n := 0
+	for _, e := range d.Ensembles {
+		n += len(e.Patterns)
+	}
+	return n
+}
+
+// Patterns flattens the dataset into individually labelled patterns (the
+// paper's "pattern data sets", where ensemble grouping is not retained).
+func (d *Dataset) Patterns() []LabelledPattern {
+	out := make([]LabelledPattern, 0, d.PatternCount())
+	for _, e := range d.Ensembles {
+		for _, p := range e.Patterns {
+			out = append(out, LabelledPattern{Label: e.Label, Vector: p})
+		}
+	}
+	return out
+}
+
+// LabelledPattern is one feature vector with ground truth.
+type LabelledPattern struct {
+	Label  string
+	Vector []float64
+}
+
+// DatasetConfig controls BuildDataset.
+type DatasetConfig struct {
+	// Counts is the census to hit; defaults to PaperCounts().
+	Counts []SpeciesCounts
+	// PAAFactor: <=1 for 1050-feature patterns, 10 for the paper's
+	// 105-feature PAA variant.
+	PAAFactor int
+	// Seed drives the synthetic vocalizations.
+	Seed int64
+	// NoiseLevel mixes ambient noise under each vocalization (default
+	// 0.02), standing in for the field recordings' background.
+	NoiseLevel float64
+}
+
+// BuildDataset synthesizes a labelled corpus matching the census: for each
+// species it renders jittered vocalizations, adds ambient noise,
+// featurizes them, and trims to the requested per-ensemble pattern counts.
+//
+// The paper's ensembles were cutter outputs validated by a human listener;
+// here the generator plays the role of the validated ground truth (the
+// extraction path is measured separately by the data-reduction
+// experiment). Pattern counts per ensemble are distributed to sum exactly
+// to the census, reproducing Table 1's totals.
+func BuildDataset(cfg DatasetConfig) (*Dataset, error) {
+	counts := cfg.Counts
+	if counts == nil {
+		counts = PaperCounts()
+	}
+	noise := cfg.NoiseLevel
+	if noise == 0 {
+		noise = 0.02
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fz := &Featurizer{PAAFactor: cfg.PAAFactor}
+	ds := &Dataset{Counts: counts, PAAFactor: cfg.PAAFactor}
+	for _, sc := range counts {
+		sp, err := synth.ByCode(sc.Code)
+		if err != nil {
+			return nil, fmt.Errorf("core: dataset: %w", err)
+		}
+		if sc.Ensembles <= 0 || sc.Patterns < sc.Ensembles {
+			return nil, fmt.Errorf("core: dataset: species %s: invalid census %d patterns / %d ensembles",
+				sc.Code, sc.Patterns, sc.Ensembles)
+		}
+		quota := distribute(sc.Patterns, sc.Ensembles)
+		for _, want := range quota {
+			ens, err := renderEnsemble(rng, sp, want, noise)
+			if err != nil {
+				return nil, err
+			}
+			pats, err := fz.Features(ens)
+			if err != nil {
+				return nil, fmt.Errorf("core: dataset: %s: %w", sc.Code, err)
+			}
+			if len(pats) < want {
+				return nil, fmt.Errorf("core: dataset: %s: rendered %d patterns, need %d",
+					sc.Code, len(pats), want)
+			}
+			ds.Ensembles = append(ds.Ensembles, LabelledEnsemble{
+				Label:    sc.Code,
+				Patterns: pats[:want],
+			})
+		}
+	}
+	rng.Shuffle(len(ds.Ensembles), func(i, j int) {
+		ds.Ensembles[i], ds.Ensembles[j] = ds.Ensembles[j], ds.Ensembles[i]
+	})
+	return ds, nil
+}
+
+// renderEnsemble renders a vocalization long enough to yield at least
+// `patterns` feature vectors after reslice (m time records give
+// floor((2m-1)/3) patterns).
+func renderEnsemble(rng *rand.Rand, sp synth.Species, patterns int, noise float64) (ops.Ensemble, error) {
+	records := (3*patterns + 2) / 2 // smallest m with (2m-1)/3 >= patterns
+	needSamples := records * ops.RecordSamples
+	samples := sp.RenderAtLeast(rng, synth.StandardSampleRate, float64(needSamples)/synth.StandardSampleRate)
+	if len(samples) > needSamples {
+		samples = samples[:needSamples]
+	}
+	bg := make([]float64, len(samples))
+	synth.AddBackground(bg, rng, synth.StandardSampleRate, noise)
+	for i := range samples {
+		samples[i] += bg[i]
+	}
+	return ops.Ensemble{
+		Species:    sp.Code,
+		SampleRate: synth.StandardSampleRate,
+		Samples:    samples,
+	}, nil
+}
+
+// distribute splits total into parts nearly equal shares that sum exactly
+// to total.
+func distribute(total, parts int) []int {
+	out := make([]int, parts)
+	base := total / parts
+	rem := total % parts
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// CensusOf tallies a dataset back into Table 1 form (sorted by code), for
+// verifying the construction.
+func CensusOf(ds *Dataset) []SpeciesCounts {
+	m := make(map[string]*SpeciesCounts)
+	for _, e := range ds.Ensembles {
+		c, ok := m[e.Label]
+		if !ok {
+			c = &SpeciesCounts{Code: e.Label}
+			m[e.Label] = c
+		}
+		c.Ensembles++
+		c.Patterns += len(e.Patterns)
+	}
+	out := make([]SpeciesCounts, 0, len(m))
+	for _, c := range m {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

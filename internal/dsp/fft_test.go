@@ -1,0 +1,313 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func cAlmostEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	X, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range X {
+		if !cAlmostEqual(v, 1, 1e-12) {
+			t.Errorf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTConstant(t *testing.T) {
+	// DFT of a constant is an impulse at DC.
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = 2
+	}
+	X, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cAlmostEqual(X[0], 32, 1e-9) {
+		t.Errorf("X[0] = %v, want 32", X[0])
+	}
+	for k := 1; k < len(X); k++ {
+		if !cAlmostEqual(X[k], 0, 1e-9) {
+			t.Errorf("X[%d] = %v, want 0", k, X[k])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A pure complex exponential at bin 3 transforms to N at bin 3.
+	const n = 64
+	x := make([]complex128, n)
+	for i := range x {
+		theta := 2 * math.Pi * 3 * float64(i) / n
+		x[i] = cmplx.Exp(complex(0, theta))
+	}
+	X, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range X {
+		want := complex(0, 0)
+		if k == 3 {
+			want = complex(n, 0)
+		}
+		if !cAlmostEqual(X[k], want, 1e-8) {
+			t.Errorf("X[%d] = %v, want %v", k, X[k], want)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFTPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 4, 8, 32, 128, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NaiveDFT(x)
+		for k := range want {
+			if !cAlmostEqual(got[k], want[k], 1e-7*float64(n)) {
+				t.Fatalf("n=%d: X[%d] = %v, naive %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFTArbitraryLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{3, 5, 6, 7, 12, 17, 100, 241, 360, 919} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NaiveDFT(x)
+		for k := range want {
+			if !cAlmostEqual(got[k], want[k], 1e-6*float64(n)) {
+				t.Fatalf("n=%d: X[%d] = %v, naive %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 7, 16, 100, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		X, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IFFT(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if !cAlmostEqual(back[i], x[i], 1e-9*float64(n)) {
+				t.Fatalf("n=%d: round trip[%d] = %v, want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTRealMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := make([]float64, 128)
+	c := make([]complex128, 128)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		c[i] = complex(x[i], 0)
+	}
+	got, err := FFTReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FFT(c)
+	for k := range want {
+		if !cAlmostEqual(got[k], want[k], 1e-9) {
+			t.Fatalf("FFTReal[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestFFTRealConjugateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n = 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	X, err := FFTReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < n/2; k++ {
+		if !cAlmostEqual(X[k], cmplx.Conj(X[n-k]), 1e-9) {
+			t.Fatalf("conjugate symmetry violated at bin %d", k)
+		}
+	}
+}
+
+// Property: Parseval's theorem — energy in time equals energy in frequency
+// divided by N.
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{8, 13, 64, 100, 256} {
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		X, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var freqEnergy float64
+		for _, v := range X {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		if math.Abs(timeEnergy-freqEnergy) > 1e-6*timeEnergy {
+			t.Errorf("n=%d: Parseval violated: time %v freq %v", n, timeEnergy, freqEnergy)
+		}
+	}
+}
+
+// Property: the DFT is linear.
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const n = 50 // exercises Bluestein
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	xy := make([]complex128, n)
+	const alpha = 2.5
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		y[i] = complex(rng.NormFloat64(), 0)
+		xy[i] = x[i]*complex(alpha, 0) + y[i]
+	}
+	X, _ := FFT(x)
+	Y, _ := FFT(y)
+	XY, _ := FFT(xy)
+	for k := range XY {
+		want := X[k]*complex(alpha, 0) + Y[k]
+		if !cAlmostEqual(XY[k], want, 1e-8) {
+			t.Fatalf("linearity violated at bin %d", k)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if _, err := FFT(nil); err == nil {
+		t.Error("empty FFT should error")
+	}
+	if _, err := IFFT(nil); err == nil {
+		t.Error("empty IFFT should error")
+	}
+	if _, err := FFTReal(nil); err == nil {
+		t.Error("empty FFTReal should error")
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5} // length 5: Bluestein path
+	orig := append([]complex128(nil), x...)
+	if _, err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("FFT mutated its input")
+		}
+	}
+}
+
+func TestMagnitudes(t *testing.T) {
+	got := Magnitudes([]complex128{3 + 4i, -5, 2i, 0})
+	want := []float64{5, 5, 2, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Magnitudes[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPowerSpectrum(t *testing.T) {
+	got := PowerSpectrum([]complex128{3 + 4i, 2i})
+	want := []float64{25, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("PowerSpectrum[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFFTvsDFT is the ablation justifying the FFT substrate: compare
+// with BenchmarkNaiveDFT1024 below (O(n log n) vs O(n^2)).
+func BenchmarkNaiveDFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveDFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein919(b *testing.B) {
+	// 919 is prime; exercises the chirp-z path at the paper's record
+	// granularity.
+	x := make([]complex128, 919)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

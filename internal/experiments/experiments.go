@@ -1,0 +1,383 @@
+// Package experiments implements the paper's evaluation section as
+// reusable functions shared by cmd/experiments and the benchmark harness:
+// each table and figure of the paper maps to one entry point here.
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/eval"
+	"repro/internal/meso"
+	"repro/internal/ops"
+	"repro/internal/pipeline"
+	"repro/internal/synth"
+	"repro/internal/timeseries"
+)
+
+// Config scales the experiments. Scale 1 with the paper's repetition
+// counts reproduces the full protocol.
+type Config struct {
+	Scale     float64 // fraction of Table 1 counts (default 0.15)
+	LOOReps   int     // paper: 20
+	ResubReps int     // paper: 100
+	MaxFolds  int     // 0 = every fold, as in the paper
+	Seed      int64
+	Clips     int // clips for the reduction experiment
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.15
+	}
+	if c.LOOReps == 0 {
+		c.LOOReps = 2
+	}
+	if c.ResubReps == 0 {
+		c.ResubReps = 10
+	}
+	if c.Clips == 0 {
+		c.Clips = 8
+	}
+	return c
+}
+
+func (c Config) counts() []core.SpeciesCounts {
+	if c.Scale >= 1 {
+		return core.PaperCounts()
+	}
+	return core.ScaleCounts(core.PaperCounts(), c.Scale)
+}
+
+// MesoConfig is the classifier configuration used across the
+// classification experiments.
+func MesoConfig() meso.Config {
+	return meso.Config{DeltaFraction: 0.45, Vote: meso.VoteSphereMajority}
+}
+
+// Table1 builds the experimental dataset and returns its census, which at
+// Scale 1 equals the paper's Table 1 exactly.
+func Table1(cfg Config) ([]core.SpeciesCounts, error) {
+	cfg = cfg.withDefaults()
+	ds, err := core.BuildDataset(core.DatasetConfig{
+		Counts:    cfg.counts(),
+		PAAFactor: 10,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	census := core.CensusOf(ds)
+	// Reattach common names.
+	names := map[string]string{}
+	for _, c := range core.PaperCounts() {
+		names[c.Code] = c.Name
+	}
+	for i := range census {
+		census[i].Name = names[census[i].Code]
+	}
+	return census, nil
+}
+
+// Table2Row is one row of Table 2.
+type Table2Row struct {
+	Dataset  string // "Pattern", "Ensemble", "PAA Pattern", "PAA Ensemble"
+	Protocol string // "Leave-one-out" or "Resubstitution"
+	Result   *eval.Result
+}
+
+// Table2 runs the four data sets through both protocols.
+func Table2(cfg Config) ([]Table2Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Table2Row
+	for _, variant := range []struct {
+		name string
+		paa  int
+	}{
+		{"Pattern", 1},
+		{"Ensemble", 1},
+		{"PAA Pattern", 10},
+		{"PAA Ensemble", 10},
+	} {
+		ds, err := core.BuildDataset(core.DatasetConfig{
+			Counts:    cfg.counts(),
+			PAAFactor: variant.paa,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		isEnsemble := strings.Contains(variant.name, "Ensemble")
+		if isEnsemble {
+			loo, err := eval.LeaveOneOutEnsembles(ds.Ensembles, eval.Options{
+				Meso: MesoConfig(), Repetitions: cfg.LOOReps, Seed: cfg.Seed, MaxFolds: cfg.MaxFolds,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{variant.name, "Leave-one-out", loo})
+			resub, err := eval.ResubstitutionEnsembles(ds.Ensembles, eval.Options{
+				Meso: MesoConfig(), Repetitions: cfg.ResubReps, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{variant.name, "Resubstitution", resub})
+		} else {
+			pats := ds.Patterns()
+			loo, err := eval.LeaveOneOutPatterns(pats, eval.Options{
+				Meso: MesoConfig(), Repetitions: cfg.LOOReps, Seed: cfg.Seed, MaxFolds: cfg.MaxFolds,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{variant.name, "Leave-one-out", loo})
+			resub, err := eval.ResubstitutionPatterns(pats, eval.Options{
+				Meso: MesoConfig(), Repetitions: cfg.ResubReps, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{variant.name, "Resubstitution", resub})
+		}
+	}
+	return rows, nil
+}
+
+// Table3 computes the confusion matrix for PAA ensembles under
+// leave-one-out, the paper's Table 3.
+func Table3(cfg Config) (*eval.ConfusionMatrix, error) {
+	cfg = cfg.withDefaults()
+	ds, err := core.BuildDataset(core.DatasetConfig{
+		Counts:    cfg.counts(),
+		PAAFactor: 10,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eval.LeaveOneOutEnsembles(ds.Ensembles, eval.Options{
+		Meso: MesoConfig(), Repetitions: cfg.LOOReps, Seed: cfg.Seed, MaxFolds: cfg.MaxFolds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Confusion, nil
+}
+
+// ReductionResult is the data-reduction headline measurement.
+type ReductionResult struct {
+	Clips       int
+	Seconds     float64
+	SamplesIn   uint64
+	SamplesKept uint64
+	Ensembles   int
+	Reduction   float64
+}
+
+// Reduction extracts ensembles from synthetic 30-second station clips and
+// measures the retained fraction (paper: 80.6% discarded).
+func Reduction(cfg Config) (*ReductionResult, error) {
+	cfg = cfg.withDefaults()
+	station := synth.NewStation("kbs-sim", cfg.Seed, synth.ClipConfig{})
+	var clips []ops.Clip
+	var seconds float64
+	for i := 0; i < cfg.Clips; i++ {
+		clip, id, err := station.NextClip()
+		if err != nil {
+			return nil, err
+		}
+		clips = append(clips, ops.Clip{
+			ID:         id,
+			Station:    station.Name,
+			SampleRate: clip.SampleRate,
+			Samples:    clip.Samples,
+		})
+		seconds += clip.Seconds()
+	}
+	ext, err := core.NewExtractor(ops.DefaultExtractConfig()).Extract(clips...)
+	if err != nil {
+		return nil, err
+	}
+	return &ReductionResult{
+		Clips:       cfg.Clips,
+		Seconds:     seconds,
+		SamplesIn:   ext.SamplesIn,
+		SamplesKept: ext.SamplesKept,
+		Ensembles:   len(ext.Ensembles),
+		Reduction:   ext.Reduction(),
+	}, nil
+}
+
+// Figure5Pipeline composes (without running) the paper's full analysis
+// pipeline for topology display.
+func Figure5Pipeline() *pipeline.Pipeline {
+	extractOps, _, err := ops.ExtractionOps(ops.DefaultExtractConfig())
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	station := synth.NewStation("kbs-sim", 0, synth.ClipConfig{})
+	return pipeline.New().
+		SetSource(&ops.StationSource{Station: station, ClipCount: 1}).
+		AppendOps("ensemble-extraction", extractOps...).
+		AppendOps("spectral", ops.SpectralOps(10)...).
+		SetSink(ops.NewEnsembleCollector())
+}
+
+// Figure6Data is the trigger/ensemble view of one clip.
+type Figure6Data struct {
+	Trigger   []float64 // 0/1 per sample
+	Masked    []float64 // original signal where trigger=1, else 0
+	Ensembles int
+	Reduction float64
+	Events    []Figure6Event
+}
+
+// Figure6Event is ground truth for display.
+type Figure6Event struct {
+	Species          string
+	StartSec, EndSec float64
+}
+
+// Figure6 runs extraction on one synthetic clip and reconstructs the
+// trigger trace and masked signal of the paper's Figure 6.
+func Figure6(cfg Config) (*Figure6Data, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	clip, err := synth.GenerateClip(rng, synth.ClipConfig{Seconds: 10, Events: 3})
+	if err != nil {
+		return nil, err
+	}
+	ext, err := core.NewExtractor(ops.DefaultExtractConfig()).Extract(ops.Clip{
+		ID:         "fig6",
+		SampleRate: clip.SampleRate,
+		Samples:    clip.Samples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure6Data{
+		Trigger:   make([]float64, len(clip.Samples)),
+		Masked:    make([]float64, len(clip.Samples)),
+		Ensembles: len(ext.Ensembles),
+		Reduction: ext.Reduction(),
+	}
+	for _, e := range ext.Ensembles {
+		start := int(e.StartSec * clip.SampleRate)
+		for i := 0; i < len(e.Samples) && start+i < len(clip.Samples); i++ {
+			fig.Trigger[start+i] = 1
+			fig.Masked[start+i] = clip.Samples[start+i]
+		}
+	}
+	for _, ev := range clip.Events {
+		fig.Events = append(fig.Events, Figure6Event{
+			Species:  ev.Species,
+			StartSec: float64(ev.Start) / clip.SampleRate,
+			EndSec:   float64(ev.End) / clip.SampleRate,
+		})
+	}
+	return fig, nil
+}
+
+// Oscillogram renders a normalized amplitude plot as ASCII art (the top
+// panel of Figure 2), width columns by 2*halfHeight+1 rows.
+func Oscillogram(samples []float64, width, halfHeight int) string {
+	if len(samples) == 0 || width <= 0 || halfHeight <= 0 {
+		return ""
+	}
+	// Per-column peak envelope (positive and negative).
+	hi := make([]float64, width)
+	lo := make([]float64, width)
+	var peak float64
+	for c := 0; c < width; c++ {
+		a := c * len(samples) / width
+		b := (c + 1) * len(samples) / width
+		for _, v := range samples[a:b] {
+			if v > hi[c] {
+				hi[c] = v
+			}
+			if v < lo[c] {
+				lo[c] = v
+			}
+		}
+		if hi[c] > peak {
+			peak = hi[c]
+		}
+		if -lo[c] > peak {
+			peak = -lo[c]
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	rows := 2*halfHeight + 1
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		level := float64(halfHeight-r) / float64(halfHeight) // +1 .. -1
+		for c := 0; c < width; c++ {
+			h := hi[c] / peak
+			l := lo[c] / peak
+			switch {
+			case level == 0:
+				sb.WriteByte('-')
+			case level > 0 && h >= level:
+				sb.WriteByte('|')
+			case level < 0 && l <= level:
+				sb.WriteByte('|')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// BinaryTrace renders a 0/1 signal as a two-row trace (the top panel of
+// Figure 6).
+func BinaryTrace(signal []float64, width int) string {
+	if len(signal) == 0 || width <= 0 {
+		return ""
+	}
+	cells := make([]bool, width)
+	for c := 0; c < width; c++ {
+		a := c * len(signal) / width
+		b := (c + 1) * len(signal) / width
+		for _, v := range signal[a:b] {
+			if v >= 0.5 {
+				cells[c] = true
+				break
+			}
+		}
+	}
+	var hiRow, loRow strings.Builder
+	for _, on := range cells {
+		if on {
+			hiRow.WriteByte('#')
+			loRow.WriteByte(' ')
+		} else {
+			hiRow.WriteByte(' ')
+			loRow.WriteByte('_')
+		}
+	}
+	return "1 " + hiRow.String() + "\n0 " + loRow.String() + "\n"
+}
+
+// PAASpectrogram reduces every spectrogram column by the given PAA factor
+// (Figure 3: the Figure 2 spectrogram after conversion to PAA
+// representation).
+func PAASpectrogram(sg *dsp.Spectrogram, factor int) *dsp.Spectrogram {
+	out := &dsp.Spectrogram{BinHz: sg.BinHz * float64(factor), HopSec: sg.HopSec}
+	for _, col := range sg.Columns {
+		reduced, err := timeseries.PAAReduce(col, factor)
+		if err != nil {
+			// Columns are non-empty whenever sg came from
+			// ComputeSpectrogram.
+			panic("experiments: " + err.Error())
+		}
+		out.Columns = append(out.Columns, reduced)
+	}
+	return out
+}

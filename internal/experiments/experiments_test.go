@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps experiment tests fast.
+func tinyCfg() Config {
+	return Config{Scale: 0.03, LOOReps: 1, ResubReps: 1, MaxFolds: 10, Seed: 1, Clips: 1}
+}
+
+func TestTable1CensusShape(t *testing.T) {
+	census, err := Table1(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(census) != 10 {
+		t.Fatalf("species = %d", len(census))
+	}
+	for _, c := range census {
+		if c.Name == "" {
+			t.Errorf("%s missing common name", c.Code)
+		}
+		if c.Ensembles < 1 || c.Patterns < c.Ensembles {
+			t.Errorf("%s: bad counts %+v", c.Code, c)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Dataset+"/"+r.Protocol] = true
+		if r.Result.MeanAccuracy < 0 || r.Result.MeanAccuracy > 1 {
+			t.Errorf("%s %s: accuracy %v", r.Dataset, r.Protocol, r.Result.MeanAccuracy)
+		}
+	}
+	for _, want := range []string{
+		"Pattern/Leave-one-out", "Pattern/Resubstitution",
+		"Ensemble/Leave-one-out", "Ensemble/Resubstitution",
+		"PAA Pattern/Leave-one-out", "PAA Pattern/Resubstitution",
+		"PAA Ensemble/Leave-one-out", "PAA Ensemble/Resubstitution",
+	} {
+		if !seen[want] {
+			t.Errorf("missing row %s", want)
+		}
+	}
+}
+
+func TestTable3MatrixShape(t *testing.T) {
+	m, err := Table3(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Labels) != 10 {
+		t.Fatalf("labels = %v", m.Labels)
+	}
+	if m.Accuracy() <= 0.1 {
+		t.Errorf("accuracy %v at or below chance", m.Accuracy())
+	}
+	if !strings.Contains(m.Format(), "AMGO") {
+		t.Error("Format missing species")
+	}
+}
+
+func TestReductionHeadline(t *testing.T) {
+	r, err := Reduction(Config{Seed: 1, Clips: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SamplesIn == 0 || r.SamplesKept == 0 {
+		t.Fatalf("degenerate reduction run: %+v", r)
+	}
+	// The paper reports 80.6%; the synthetic substrate should land in the
+	// same regime.
+	if r.Reduction < 0.6 || r.Reduction > 0.97 {
+		t.Errorf("reduction = %v, want within [0.6, 0.97]", r.Reduction)
+	}
+	if r.Ensembles == 0 {
+		t.Error("no ensembles extracted")
+	}
+}
+
+func TestFigure5Topology(t *testing.T) {
+	p := Figure5Pipeline()
+	topo := p.Topology()
+	for _, op := range []string{"saxanomaly", "trigger", "cutter", "reslice",
+		"welchwindow", "float2cplx", "dft", "cabs", "cutout", "paa", "rec2vect"} {
+		if !strings.Contains(topo, op) {
+			t.Errorf("topology missing %s: %s", op, topo)
+		}
+	}
+}
+
+func TestFigure6Data(t *testing.T) {
+	fig, err := Figure6(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Ensembles == 0 {
+		t.Fatal("no ensembles")
+	}
+	if len(fig.Trigger) != len(fig.Masked) {
+		t.Fatal("trigger/masked length mismatch")
+	}
+	var high int
+	for i, v := range fig.Trigger {
+		if v == 1 {
+			high++
+			continue
+		}
+		if fig.Masked[i] != 0 {
+			t.Fatal("masked signal nonzero outside trigger-high region")
+		}
+	}
+	if high == 0 {
+		t.Error("trigger never high")
+	}
+	if len(fig.Events) == 0 {
+		t.Error("no ground truth events")
+	}
+}
+
+func TestOscillogram(t *testing.T) {
+	sig := make([]float64, 1000)
+	for i := 400; i < 600; i++ {
+		sig[i] = 1
+	}
+	art := Oscillogram(sig, 50, 5)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("rows = %d, want 11", len(lines))
+	}
+	if !strings.Contains(lines[0], "|") {
+		t.Error("peak row missing bars")
+	}
+	if !strings.Contains(lines[5], "-") {
+		t.Error("midline missing")
+	}
+	if Oscillogram(nil, 10, 5) != "" {
+		t.Error("empty input should render empty")
+	}
+}
+
+func TestBinaryTrace(t *testing.T) {
+	sig := []float64{0, 0, 1, 1, 0, 0}
+	trace := BinaryTrace(sig, 6)
+	lines := strings.Split(strings.TrimRight(trace, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "#") || !strings.Contains(lines[1], "_") {
+		t.Errorf("trace rendering:\n%s", trace)
+	}
+	if BinaryTrace(nil, 5) != "" {
+		t.Error("empty trace should be empty")
+	}
+}
+
+func TestPAASpectrogramReducesBins(t *testing.T) {
+	fig, err := Figure6(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fig
+}

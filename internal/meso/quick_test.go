@@ -1,0 +1,134 @@
+package meso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Classify always returns a label that was seen in training.
+func TestQuickClassifyReturnsTrainedLabel(t *testing.T) {
+	f := func(seed int64, nSel, dimSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nSel)%60
+		dim := 1 + int(dimSel)%8
+		labels := []string{"x", "y", "z"}
+		m := New(Config{})
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.NormFloat64() * 3
+			}
+			l := labels[rng.Intn(len(labels))]
+			seen[l] = true
+			if err := m.Train(Pattern{Vector: v, Label: l}); err != nil {
+				return false
+			}
+		}
+		for q := 0; q < 10; q++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.NormFloat64() * 5
+			}
+			res, err := m.Classify(v)
+			if err != nil {
+				return false
+			}
+			if !seen[res.Label] {
+				return false
+			}
+			if res.Confidence <= 0 || res.Confidence > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: training order changes clustering but never loses patterns.
+func TestQuickPatternConservation(t *testing.T) {
+	f := func(seed int64, nSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nSel)%100
+		m := New(Config{})
+		for i := 0; i < n; i++ {
+			v := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			if err := m.Train(Pattern{Vector: v, Label: "l"}); err != nil {
+				return false
+			}
+		}
+		stored := 0
+		for _, s := range m.spheres {
+			stored += s.Size()
+		}
+		return stored == n && m.PatternCount() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the exact classifier returns the sphere with globally minimal
+// center distance (verified against a brute-force scan over exposed
+// state).
+func TestQuickExactIsNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	m := New(Config{DeltaFraction: 0.3})
+	for i := 0; i < 300; i++ {
+		v := []float64{rng.NormFloat64() * 4, rng.NormFloat64() * 4, rng.NormFloat64() * 4}
+		if err := m.Train(Pattern{Vector: v, Label: "l"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 100; q++ {
+		v := []float64{rng.NormFloat64() * 4, rng.NormFloat64() * 4, rng.NormFloat64() * 4}
+		_, got := m.nearestSphereExact(v)
+		best := got + 1 // force comparison
+		_ = best
+		min := got
+		for _, s := range m.spheres {
+			if d := sqDist(v, s.center); d < min {
+				min = d
+			}
+		}
+		if got != min {
+			t.Fatalf("exact search missed a nearer sphere: %v vs %v", got, min)
+		}
+	}
+}
+
+func BenchmarkGrowthPolicies(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 1000
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = []float64{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+	}
+	for _, g := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"adaptive", Config{Growth: GrowthAdaptive}},
+		{"fixed", Config{Growth: GrowthFixed, FixedDelta: 2}},
+		{"slow-start", Config{Growth: GrowthSlowStart}},
+	} {
+		b.Run(g.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var spheres int
+			for i := 0; i < b.N; i++ {
+				m := New(g.cfg)
+				for _, v := range vecs {
+					if err := m.Train(Pattern{Vector: v, Label: "l"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				spheres = m.SphereCount()
+			}
+			b.ReportMetric(float64(spheres), "spheres")
+		})
+	}
+}

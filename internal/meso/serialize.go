@@ -1,0 +1,68 @@
+package meso
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob-encoded persistent form of a MESO instance. Only
+// training state is stored; the partitioning tree is rebuilt on load.
+type snapshot struct {
+	Cfg      Config
+	Dim      int
+	Trained  int
+	Delta    float64
+	NNCount  uint64
+	NNMean   float64
+	Patterns [][]Pattern // per sphere, in insertion order
+}
+
+// Save serializes the trained memory to w.
+func (m *MESO) Save(w io.Writer) error {
+	snap := snapshot{
+		Cfg:     m.cfg,
+		Dim:     m.dim,
+		Trained: m.trained,
+		Delta:   m.delta,
+		NNCount: m.nnDist.n,
+		NNMean:  m.nnDist.mean,
+	}
+	snap.Patterns = make([][]Pattern, len(m.spheres))
+	for i, s := range m.spheres {
+		snap.Patterns[i] = s.patterns
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("meso: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a MESO instance saved with Save. Sphere membership is
+// restored exactly as trained (not re-clustered), so classification
+// behaviour is preserved across the round trip.
+func Load(r io.Reader) (*MESO, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("meso: load: %w", err)
+	}
+	m := New(snap.Cfg)
+	m.dim = snap.Dim
+	m.trained = snap.Trained
+	m.delta = snap.Delta
+	m.nnDist = welford{n: snap.NNCount, mean: snap.NNMean}
+	for _, ps := range snap.Patterns {
+		if len(ps) == 0 {
+			continue
+		}
+		s := newSphere(ps[0])
+		for _, p := range ps[1:] {
+			s.add(p)
+		}
+		m.spheres = append(m.spheres, s)
+	}
+	if len(m.spheres) > 0 {
+		m.rebuild()
+	}
+	return m, nil
+}

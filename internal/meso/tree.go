@@ -1,0 +1,188 @@
+package meso
+
+import (
+	"container/heap"
+	"math"
+)
+
+// The partitioning tree organizes sensitivity spheres hierarchically so a
+// query needs only O(log S) center comparisons instead of a linear scan.
+// Inner nodes hold the centroid of the spheres beneath them; leaves hold
+// sphere indices. The tree is rebuilt periodically as training adds
+// spheres (Config.RebuildEvery); spheres added since the last rebuild are
+// kept in an overflow list that every query also scans, so results never
+// miss fresh training data.
+
+type treeNode struct {
+	center   []float64
+	children []*treeNode
+	spheres  []int // leaf payload: indices into MESO.spheres
+}
+
+// rebuild reconstructs the partitioning tree over all current spheres.
+func (m *MESO) rebuild() {
+	idx := make([]int, len(m.spheres))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.root = m.buildNode(idx)
+	m.builtAt = len(m.spheres)
+}
+
+func (m *MESO) buildNode(idx []int) *treeNode {
+	node := &treeNode{center: m.centroidOf(idx)}
+	if len(idx) <= m.cfg.MaxLeaf {
+		node.spheres = append([]int(nil), idx...)
+		return node
+	}
+	left, right := m.bisect(idx)
+	if len(left) == 0 || len(right) == 0 {
+		// Degenerate split (identical centers): make a flat leaf.
+		node.spheres = append([]int(nil), idx...)
+		return node
+	}
+	node.children = []*treeNode{m.buildNode(left), m.buildNode(right)}
+	return node
+}
+
+func (m *MESO) centroidOf(idx []int) []float64 {
+	c := make([]float64, m.dim)
+	if len(idx) == 0 {
+		return c
+	}
+	for _, i := range idx {
+		for j, x := range m.spheres[i].center {
+			c[j] += x
+		}
+	}
+	inv := 1 / float64(len(idx))
+	for j := range c {
+		c[j] *= inv
+	}
+	return c
+}
+
+// bisect splits sphere indices into two groups by a deterministic 2-means:
+// seeds are the first sphere and the sphere farthest from it, followed by
+// a few Lloyd iterations.
+func (m *MESO) bisect(idx []int) (left, right []int) {
+	seedA := m.spheres[idx[0]].center
+	far, farD := idx[0], -1.0
+	for _, i := range idx {
+		if d := sqDist(seedA, m.spheres[i].center); d > farD {
+			far, farD = i, d
+		}
+	}
+	cA := append([]float64(nil), seedA...)
+	cB := append([]float64(nil), m.spheres[far].center...)
+	var assign []bool // true = B
+	assign = make([]bool, len(idx))
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		for k, i := range idx {
+			toB := sqDist(m.spheres[i].center, cB) < sqDist(m.spheres[i].center, cA)
+			if toB != assign[k] {
+				assign[k] = toB
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		nA, nB := 0, 0
+		for j := range cA {
+			cA[j], cB[j] = 0, 0
+		}
+		for k, i := range idx {
+			c := cA
+			if assign[k] {
+				c = cB
+				nB++
+			} else {
+				nA++
+			}
+			for j, x := range m.spheres[i].center {
+				c[j] += x
+			}
+		}
+		if nA == 0 || nB == 0 {
+			break
+		}
+		for j := range cA {
+			cA[j] /= float64(nA)
+			cB[j] /= float64(nB)
+		}
+	}
+	for k, i := range idx {
+		if assign[k] {
+			right = append(right, i)
+		} else {
+			left = append(left, i)
+		}
+	}
+	return left, right
+}
+
+// branchHeap orders tree nodes by distance for beam search.
+type branch struct {
+	node *treeNode
+	dist float64
+}
+
+type branchHeap []branch
+
+func (h branchHeap) Len() int            { return len(h) }
+func (h branchHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h branchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *branchHeap) Push(x interface{}) { *h = append(*h, x.(branch)) }
+func (h *branchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// nearestSphereTree finds the (approximately) nearest sphere using
+// best-first beam search over the tree plus a linear pass over spheres
+// added since the last rebuild.
+func (m *MESO) nearestSphereTree(v []float64) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	consider := func(i int) {
+		m.distEval++
+		if d := sqDist(v, m.spheres[i].center); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	// Best-first search, visiting at most SearchBreadth leaves: nodes are
+	// expanded in order of center distance, so the first leaves reached
+	// are those most likely to contain the nearest sphere. SearchBreadth
+	// >= the leaf count makes the search exhaustive.
+	h := &branchHeap{{node: m.root, dist: 0}}
+	leaves := 0
+	for h.Len() > 0 && leaves < m.cfg.SearchBreadth {
+		b := heap.Pop(h).(branch)
+		n := b.node
+		if n.spheres != nil {
+			leaves++
+			for _, i := range n.spheres {
+				consider(i)
+			}
+			continue
+		}
+		for _, c := range n.children {
+			m.distEval++
+			heap.Push(h, branch{node: c, dist: sqDist(v, c.center)})
+		}
+	}
+	// Overflow spheres added since the last rebuild.
+	for i := m.builtAt; i < len(m.spheres); i++ {
+		consider(i)
+	}
+	if best < 0 {
+		// Tree was empty (cannot normally happen once trained).
+		return m.nearestSphereExact(v)
+	}
+	return best, bestD
+}

@@ -1,0 +1,262 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/record"
+)
+
+// StreamOut is a Sink that writes records to a downstream host over TCP,
+// the streamout operator of the paper. It dials lazily and redials with
+// backoff when the connection drops or the downstream moves, so a pipeline
+// survives dynamic recomposition of its consumer.
+type StreamOut struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	w      *record.Writer
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Backoff bounds for redial attempts.
+	minBackoff time.Duration
+	maxBackoff time.Duration
+}
+
+// NewStreamOut returns a streamout sink targeting addr ("host:port").
+func NewStreamOut(addr string) *StreamOut {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &StreamOut{
+		addr:       addr,
+		ctx:        ctx,
+		cancel:     cancel,
+		minBackoff: 10 * time.Millisecond,
+		maxBackoff: 2 * time.Second,
+	}
+}
+
+// Name implements Sink.
+func (s *StreamOut) Name() string { return "streamout(" + s.addr + ")" }
+
+// Redirect atomically switches the destination address; the next write
+// dials the new target. This is the mechanism pipeline recomposition uses
+// to splice a moved segment back into the stream.
+func (s *StreamOut) Redirect(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addr = addr
+	s.dropConnLocked()
+}
+
+// Consume implements Sink: it writes the record, redialling as needed.
+func (s *StreamOut) Consume(r *record.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	backoff := s.minBackoff
+	for {
+		if err := s.ctx.Err(); err != nil {
+			return ErrStopped
+		}
+		if s.conn == nil {
+			conn, err := (&net.Dialer{Timeout: time.Second}).DialContext(s.ctx, "tcp", s.addr)
+			if err != nil {
+				if s.ctx.Err() != nil {
+					return ErrStopped
+				}
+				select {
+				case <-s.ctx.Done():
+					return ErrStopped
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > s.maxBackoff {
+					backoff = s.maxBackoff
+				}
+				continue
+			}
+			s.conn = conn
+			s.w = record.NewWriter(conn)
+		}
+		if err := s.w.Write(r); err != nil {
+			// Connection broke mid-write: drop it and retry on a fresh
+			// dial. The reader side repairs scope damage.
+			s.dropConnLocked()
+			continue
+		}
+		return nil
+	}
+}
+
+// Close terminates the sink and its connection.
+func (s *StreamOut) Close() error {
+	s.cancel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropConnLocked()
+	return nil
+}
+
+func (s *StreamOut) dropConnLocked() {
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+		s.w = nil
+	}
+}
+
+// StreamIn is a Source that accepts records from upstream hosts over TCP,
+// the streamin operator of the paper. It listens on a local address and
+// serves one upstream connection at a time; when a connection ends with
+// scopes still open — the upstream segment died or was moved mid-clip —
+// StreamIn synthesizes BadCloseScope records so downstream operators can
+// resynchronize, then waits for the next connection.
+type StreamIn struct {
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	conns uint64 // accepted connections
+	bad   uint64 // BadCloseScope records synthesized
+
+	// MaxConns, when positive, stops the source cleanly after that many
+	// upstream connections have been served (used by finite pipelines and
+	// tests; 0 means serve until Close).
+	MaxConns int
+
+	// IdleTimeout, when positive, stops the source if no new upstream
+	// connection arrives within the window (protects finite pipelines
+	// from waiting forever on a dead upstream).
+	IdleTimeout time.Duration
+}
+
+// NewStreamIn returns a streamin source listening on addr ("host:port";
+// use ":0" for an ephemeral port, then Addr to discover it).
+func NewStreamIn(addr string) (*StreamIn, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("streamin: listen %s: %w", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &StreamIn{ln: ln, ctx: ctx, cancel: cancel}, nil
+}
+
+// Name implements Source.
+func (s *StreamIn) Name() string { return "streamin(" + s.Addr() + ")" }
+
+// Addr returns the bound listen address.
+func (s *StreamIn) Addr() string { return s.ln.Addr().String() }
+
+// Connections returns the number of upstream connections served.
+func (s *StreamIn) Connections() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conns
+}
+
+// BadCloses returns the number of BadCloseScope records synthesized to
+// repair streams from failed upstreams.
+func (s *StreamIn) BadCloses() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bad
+}
+
+// Close stops the source: the listener closes and Run returns after the
+// current connection drains.
+func (s *StreamIn) Close() error {
+	s.cancel()
+	return s.ln.Close()
+}
+
+// Run implements Source: it accepts connections and forwards their records
+// until Close (or MaxConns/IdleTimeout).
+func (s *StreamIn) Run(out Emitter) error {
+	served := 0
+	for {
+		if s.ctx.Err() != nil {
+			return nil
+		}
+		if s.MaxConns > 0 && served >= s.MaxConns {
+			return nil
+		}
+		if s.IdleTimeout > 0 {
+			type deadliner interface{ SetDeadline(time.Time) error }
+			if d, ok := s.ln.(deadliner); ok {
+				_ = d.SetDeadline(time.Now().Add(s.IdleTimeout))
+			}
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return nil // idle timeout: clean finish
+			}
+			return fmt.Errorf("streamin: accept: %w", err)
+		}
+		served++
+		s.mu.Lock()
+		s.conns++
+		s.mu.Unlock()
+		if err := s.serveConn(conn, out); err != nil {
+			return err
+		}
+	}
+}
+
+// serveConn drains one upstream connection, repairing scope structure if
+// the upstream dies mid-scope.
+func (s *StreamIn) serveConn(conn net.Conn, out Emitter) error {
+	defer conn.Close()
+	// Close the connection when the source is stopped so the blocking
+	// read below unblocks.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-s.ctx.Done():
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
+
+	tracker := record.NewTracker()
+	rd := record.NewReader(conn)
+	for {
+		rec, err := rd.Read()
+		if err != nil {
+			clean := errors.Is(err, io.EOF) && tracker.Depth() == 0
+			if !clean {
+				// Upstream terminated unexpectedly (mid-record, or
+				// mid-scope): close all open scopes so downstream state
+				// resynchronizes at a scope boundary.
+				for _, bc := range tracker.CloseAll() {
+					s.mu.Lock()
+					s.bad++
+					s.mu.Unlock()
+					if eerr := out.Emit(bc); eerr != nil {
+						return eerr
+					}
+				}
+			}
+			return nil
+		}
+		if err := tracker.Observe(rec); err != nil {
+			// Structurally invalid record (e.g. stray CloseScope from a
+			// confused upstream): drop it rather than poison downstream.
+			continue
+		}
+		if err := out.Emit(rec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package pipeline
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/record"
+)
+
+// emitCollector is a thread-safe Emitter that records everything.
+type emitCollector struct {
+	mu   sync.Mutex
+	recs []*record.Record
+}
+
+func (c *emitCollector) Emit(r *record.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recs = append(c.recs, r)
+	return nil
+}
+
+func (c *emitCollector) snapshot() []*record.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*record.Record(nil), c.recs...)
+}
+
+func scopedClipRecords(vals ...float64) []*record.Record {
+	open := record.NewOpenScope(record.ScopeClip, 0)
+	open.SetContext(map[string]string{record.CtxSampleRate: "24576"})
+	recs := []*record.Record{open}
+	for _, v := range vals {
+		r := record.NewData(record.SubtypeAudio)
+		r.Scope = 1
+		r.ScopeType = record.ScopeClip
+		r.SetFloat64s([]float64{v})
+		recs = append(recs, r)
+	}
+	recs = append(recs, record.NewCloseScope(record.ScopeClip, 0))
+	return recs
+}
+
+func TestStreamOutToStreamIn(t *testing.T) {
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.MaxConns = 1
+	out := NewStreamOut(in.Addr())
+	defer out.Close()
+
+	var wg sync.WaitGroup
+	col := &emitCollector{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := in.Run(col); err != nil {
+			t.Errorf("streamin: %v", err)
+		}
+	}()
+
+	sent := scopedClipRecords(1, 2, 3)
+	for _, r := range sent {
+		if err := out.Consume(r); err != nil {
+			t.Fatalf("consume: %v", err)
+		}
+	}
+	out.Close() // EOF to the reader
+	wg.Wait()
+
+	got := col.snapshot()
+	if len(got) != len(sent) {
+		t.Fatalf("received %d records, want %d", len(got), len(sent))
+	}
+	for i := range sent {
+		if got[i].Kind != sent[i].Kind {
+			t.Errorf("record %d kind = %s, want %s", i, got[i].Kind, sent[i].Kind)
+		}
+	}
+	if in.Connections() != 1 {
+		t.Errorf("Connections = %d", in.Connections())
+	}
+	if in.BadCloses() != 0 {
+		t.Errorf("BadCloses = %d, want 0 for clean stream", in.BadCloses())
+	}
+}
+
+func TestStreamInRepairsKilledUpstream(t *testing.T) {
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.MaxConns = 1
+	col := &emitCollector{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := in.Run(col); err != nil {
+			t.Errorf("streamin: %v", err)
+		}
+	}()
+
+	// Upstream opens nested scopes, sends data, then dies without closing.
+	conn, err := net.Dial("tcp", in.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := record.NewWriter(conn)
+	sess := record.NewOpenScope(record.ScopeSession, 0)
+	mustWrite(t, w, sess)
+	clip := record.NewOpenScope(record.ScopeClip, 1)
+	mustWrite(t, w, clip)
+	data := record.NewData(record.SubtypeAudio)
+	data.SetFloat64s([]float64{42})
+	mustWrite(t, w, data)
+	conn.Close() // abrupt death mid-scope
+	<-done
+
+	got := col.snapshot()
+	if len(got) != 5 {
+		t.Fatalf("got %d records, want 5 (2 opens + data + 2 bad closes)", len(got))
+	}
+	if got[3].Kind != record.KindBadCloseScope || got[3].ScopeType != record.ScopeClip || got[3].Scope != 1 {
+		t.Errorf("first repair record = %s", got[3])
+	}
+	if got[4].Kind != record.KindBadCloseScope || got[4].ScopeType != record.ScopeSession || got[4].Scope != 0 {
+		t.Errorf("second repair record = %s", got[4])
+	}
+	if in.BadCloses() != 2 {
+		t.Errorf("BadCloses = %d, want 2", in.BadCloses())
+	}
+	// The repaired stream must be structurally valid end to end.
+	tr := record.NewTracker()
+	for i, r := range got {
+		if err := tr.Observe(r); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if tr.Depth() != 0 {
+		t.Errorf("depth after repair = %d", tr.Depth())
+	}
+}
+
+func TestStreamInServesSequentialConnections(t *testing.T) {
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.MaxConns = 3
+	col := &emitCollector{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := in.Run(col); err != nil {
+			t.Errorf("streamin: %v", err)
+		}
+	}()
+
+	for i := 0; i < 3; i++ {
+		out := NewStreamOut(in.Addr())
+		for _, r := range scopedClipRecords(float64(i)) {
+			if err := out.Consume(r); err != nil {
+				t.Fatalf("conn %d: %v", i, err)
+			}
+		}
+		out.Close()
+		// Sequential connections arrive in order; give the reader a beat
+		// to finish draining before the next dial so ordering is stable.
+		time.Sleep(10 * time.Millisecond)
+	}
+	<-done
+	got := col.snapshot()
+	if len(got) != 9 {
+		t.Fatalf("got %d records, want 9", len(got))
+	}
+	if in.Connections() != 3 {
+		t.Errorf("Connections = %d", in.Connections())
+	}
+}
+
+func TestStreamOutRedialsAfterDrop(t *testing.T) {
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.MaxConns = 2
+	col := &emitCollector{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := in.Run(col); err != nil {
+			t.Errorf("streamin: %v", err)
+		}
+	}()
+
+	out := NewStreamOut(in.Addr())
+	defer out.Close()
+	r := record.NewData(0)
+	r.SetFloat64s([]float64{1})
+	if err := out.Consume(r); err != nil {
+		t.Fatal(err)
+	}
+	// Force a reconnect by dropping the sender's connection.
+	out.mu.Lock()
+	out.dropConnLocked()
+	out.mu.Unlock()
+	r2 := record.NewData(0)
+	r2.SetFloat64s([]float64{2})
+	if err := out.Consume(r2); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	<-done
+	if got := col.snapshot(); len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+}
+
+func TestStreamOutStoppedAfterClose(t *testing.T) {
+	out := NewStreamOut("127.0.0.1:1") // nothing listens here
+	out.Close()
+	r := record.NewData(0)
+	if err := out.Consume(r); err != ErrStopped {
+		t.Errorf("Consume after Close = %v, want ErrStopped", err)
+	}
+}
+
+func TestStreamInIdleTimeout(t *testing.T) {
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.IdleTimeout = 50 * time.Millisecond
+	start := time.Now()
+	if err := in.Run(&emitCollector{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("idle timeout took %v", elapsed)
+	}
+}
+
+func TestNetworkedPipelineEndToEnd(t *testing.T) {
+	// Full hop: in-process source -> streamout ==tcp==> streamin ->
+	// segment -> sink.
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.MaxConns = 1
+
+	sink := &collectSink{}
+	downstream := New().SetSource(in).AppendOps("math", doubler{}).SetSink(sink)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := downstream.Run(context.Background()); err != nil {
+			t.Errorf("downstream: %v", err)
+		}
+	}()
+
+	out := NewStreamOut(in.Addr())
+	upstream := New().SetSource(floatSource("src", 1, 2, 3)).SetSink(out)
+	if err := upstream.Run(context.Background()); err != nil {
+		t.Fatalf("upstream: %v", err)
+	}
+	out.Close()
+	wg.Wait()
+
+	got := sink.values(t)
+	want := []float64{2, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func mustWrite(t *testing.T, w *record.Writer, r *record.Record) {
+	t.Helper()
+	if err := w.Write(r); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}

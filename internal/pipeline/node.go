@@ -1,0 +1,222 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// OperatorFactory builds a fresh operator chain for a segment. Dynamic
+// recomposition instantiates segments from factories because operator
+// instances carry processing state that must not be shared between hosts.
+type OperatorFactory func() []Operator
+
+// Registry maps segment type names to operator factories, letting any node
+// instantiate any segment of the application. It is safe for concurrent
+// use.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]OperatorFactory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]OperatorFactory)}
+}
+
+// Register adds a segment factory under a type name, replacing any
+// previous registration.
+func (r *Registry) Register(segType string, f OperatorFactory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[segType] = f
+}
+
+// Build instantiates the operator chain for a segment type.
+func (r *Registry) Build(segType string) ([]Operator, error) {
+	r.mu.RLock()
+	f, ok := r.factories[segType]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pipeline: unknown segment type %q", segType)
+	}
+	return f(), nil
+}
+
+// Types returns the registered segment type names.
+func (r *Registry) Types() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for k := range r.factories {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Node hosts pipeline segments on one (possibly remote) machine. Each
+// hosted segment listens for upstream records via streamin, runs its
+// operator chain, and forwards results via streamout. Nodes are the unit
+// the coordinator moves segments between.
+type Node struct {
+	name string
+	reg  *Registry
+
+	mu     sync.Mutex
+	hosted map[string]*hostedSegment
+}
+
+type hostedSegment struct {
+	seg    *Segment
+	in     *StreamIn
+	out    *StreamOut
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+// NewNode returns a node that instantiates segments from reg.
+func NewNode(name string, reg *Registry) *Node {
+	return &Node{name: name, reg: reg, hosted: make(map[string]*hostedSegment)}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Hosted returns the names of segments currently hosted.
+func (n *Node) Hosted() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.hosted))
+	for k := range n.hosted {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Host instantiates segment type segType under the instance name segName,
+// listening on listenAddr (":0" for ephemeral) and forwarding to
+// downstreamAddr. It returns the bound listen address that upstream
+// should dial.
+func (n *Node) Host(segName, segType, listenAddr, downstreamAddr string) (string, error) {
+	ops, err := n.reg.Build(segType)
+	if err != nil {
+		return "", err
+	}
+	in, err := NewStreamIn(listenAddr)
+	if err != nil {
+		return "", err
+	}
+	out := NewStreamOut(downstreamAddr)
+	seg := NewSegment(segName, ops...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &hostedSegment{seg: seg, in: in, out: out, cancel: cancel, done: make(chan struct{})}
+
+	n.mu.Lock()
+	if _, exists := n.hosted[segName]; exists {
+		n.mu.Unlock()
+		cancel()
+		_ = in.Close()
+		_ = out.Close()
+		return "", fmt.Errorf("pipeline: node %s already hosts %q", n.name, segName)
+	}
+	n.hosted[segName] = h
+	n.mu.Unlock()
+
+	go func() {
+		defer close(h.done)
+		p := New().SetSource(in).Append(seg).SetSink(out)
+		err := p.Run(ctx)
+		if err != nil && !errors.Is(err, ErrStopped) && !errors.Is(err, context.Canceled) {
+			h.err = err
+		}
+		_ = in.Close()
+		_ = out.Close()
+	}()
+	return in.Addr(), nil
+}
+
+// Addr returns the listen address of a hosted segment.
+func (n *Node) Addr(segName string) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosted[segName]
+	if !ok {
+		return "", fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
+	}
+	return h.in.Addr(), nil
+}
+
+// Segment returns the hosted segment instance (for stats inspection).
+func (n *Node) Segment(segName string) (*Segment, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosted[segName]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
+	}
+	return h.seg, nil
+}
+
+// Stop gracefully stops a hosted segment: its listener closes, the
+// in-flight connection is cut (downstream repairs any open scopes), and
+// the segment's resources are released. It blocks until the segment has
+// fully unwound and returns any processing error it raised.
+func (n *Node) Stop(segName string) error {
+	n.mu.Lock()
+	h, ok := n.hosted[segName]
+	if ok {
+		delete(n.hosted, segName)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
+	}
+	_ = h.in.Close()
+	h.cancel()
+	<-h.done
+	return h.err
+}
+
+// StopAll stops every hosted segment, returning the first error.
+func (n *Node) StopAll() error {
+	var first error
+	for _, name := range n.Hosted() {
+		if err := n.Stop(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Coordinator relocates segments between nodes at runtime — the "dynamic"
+// in Dynamic River. A move instantiates the segment on the destination
+// node, redirects the upstream streamout to the new address, then stops
+// the old instance; scope repair downstream masks any records cut off
+// mid-scope on the old host.
+type Coordinator struct {
+	reg *Registry
+}
+
+// NewCoordinator returns a coordinator over the given registry.
+func NewCoordinator(reg *Registry) *Coordinator { return &Coordinator{reg: reg} }
+
+// Move relocates segName (of type segType) from one node to another. The
+// upstream sink is redirected to the new instance's address, which is also
+// returned. downstreamAddr names the stage the segment forwards to (it
+// does not move).
+func (c *Coordinator) Move(segName, segType string, from, to *Node, upstream *StreamOut, downstreamAddr string) (string, error) {
+	newAddr, err := to.Host(segName, segType, ":0", downstreamAddr)
+	if err != nil {
+		return "", fmt.Errorf("pipeline: move %q to %s: %w", segName, to.Name(), err)
+	}
+	// Redirect first so new records flow to the new host; then stop the
+	// old instance, which drains whatever it had in flight.
+	upstream.Redirect(newAddr)
+	if err := from.Stop(segName); err != nil {
+		return newAddr, fmt.Errorf("pipeline: move %q: stopping old instance: %w", segName, err)
+	}
+	return newAddr, nil
+}

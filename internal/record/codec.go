@@ -1,0 +1,289 @@
+package record
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire format (all integers little-endian):
+//
+//	magic      uint32  'D','R','V','1'
+//	kind       uint8
+//	subtype    uint16
+//	scope      uint16
+//	scopeType  uint16
+//	seq        uint64
+//	sourceID   uint32
+//	payloadTyp uint16
+//	payloadLen uint32
+//	hdrCRC     uint16  (low 16 bits of IEEE CRC-32 over kind..payloadLen)
+//	payload    [payloadLen]byte
+//	crc32      uint32  (IEEE, over everything from kind through payload)
+//
+// The magic word lets a reader resynchronize on a byte stream after a
+// partial write; the header CRC lets the reader reject a corrupted length
+// field before committing to consume payload bytes; the trailing CRC
+// detects payload corruption and false magic matches.
+
+const (
+	wireMagic   = uint32('D') | uint32('R')<<8 | uint32('V')<<16 | uint32('1')<<24
+	hdrCRCOff   = 4 + 1 + 2 + 2 + 2 + 8 + 4 + 2 + 4
+	headerSize  = hdrCRCOff + 2
+	trailerSize = 4
+	// MaxPayload bounds the payload size accepted by the decoder. It
+	// protects readers from corrupt length fields; 64 MiB is far above any
+	// record produced by the acoustic pipeline (a 30 s clip is ~1.5 MiB).
+	MaxPayload = 64 << 20
+)
+
+// Codec errors.
+var (
+	ErrBadMagic    = errors.New("record: bad magic word")
+	ErrBadChecksum = errors.New("record: checksum mismatch")
+	ErrTooLarge    = errors.New("record: payload exceeds MaxPayload")
+)
+
+// AppendWire appends the wire encoding of r to dst and returns the extended
+// slice.
+func AppendWire(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = appendU32(dst, wireMagic)
+	dst = append(dst, byte(r.Kind))
+	dst = appendU16(dst, r.Subtype)
+	dst = appendU16(dst, r.Scope)
+	dst = appendU16(dst, uint16(r.ScopeType))
+	dst = appendU64(dst, r.Seq)
+	dst = appendU32(dst, r.SourceID)
+	dst = appendU16(dst, uint16(r.PayloadType))
+	dst = appendU32(dst, uint32(len(r.Payload)))
+	hcrc := crc32.ChecksumIEEE(dst[start+4:])
+	dst = appendU16(dst, uint16(hcrc))
+	dst = append(dst, r.Payload...)
+	crc := crc32.ChecksumIEEE(dst[start+4:])
+	return appendU32(dst, crc)
+}
+
+// WireSize returns the encoded size of r in bytes.
+func WireSize(r *Record) int {
+	return headerSize + len(r.Payload) + trailerSize
+}
+
+// Writer encodes records onto an io.Writer. Writer is not safe for
+// concurrent use.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	n   uint64 // records written
+}
+
+// NewWriter returns a Writer encoding onto w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Write encodes one record. The record is flushed to the underlying writer
+// eagerly so a networked peer observes records promptly.
+func (w *Writer) Write(r *Record) error {
+	if !r.Kind.Valid() {
+		return fmt.Errorf("record: write: invalid kind %d", r.Kind)
+	}
+	if len(r.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(r.Payload))
+	}
+	w.buf = AppendWire(w.buf[:0], r)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("record: write: %w", err)
+	}
+	w.n++
+	return w.w.Flush()
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Reader decodes records from an io.Reader. Reader is not safe for
+// concurrent use.
+type Reader struct {
+	r      *bufio.Reader
+	n      uint64
+	strict bool
+}
+
+// NewReader returns a Reader decoding from r. The reader resynchronizes on
+// the next magic word after encountering corruption unless SetStrict(true)
+// is called.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// SetStrict controls corruption handling: in strict mode any framing or
+// checksum error is returned to the caller; otherwise Read skips forward to
+// the next magic word and tries again.
+func (r *Reader) SetStrict(strict bool) { r.strict = strict }
+
+// Count returns the number of records successfully read.
+func (r *Reader) Count() uint64 { return r.n }
+
+// Read decodes the next record. It returns io.EOF at a clean end of stream
+// and io.ErrUnexpectedEOF if the stream ends mid-record.
+func (r *Reader) Read() (*Record, error) {
+	for {
+		rec, err := r.readOne()
+		if err == nil {
+			r.n++
+			return rec, nil
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, err
+		}
+		if r.strict {
+			return nil, err
+		}
+		// Resynchronize: drop one byte and scan for the next magic word.
+		if _, derr := r.r.Discard(1); derr != nil {
+			return nil, io.EOF
+		}
+		if serr := r.seekMagic(); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// readOne decodes the record at the current position. Whenever the whole
+// record fits in the read buffer it is validated via Peek before any byte
+// is consumed, so a framing or checksum error leaves the stream positioned
+// at the bad record and Read can resynchronize without losing the records
+// that follow it. Records larger than the buffer fall back to consuming
+// reads.
+func (r *Reader) readOne() (*Record, error) {
+	hdr, err := r.r.Peek(headerSize)
+	if err != nil {
+		if len(hdr) == 0 {
+			return nil, io.EOF
+		}
+		if getU32Partial(hdr) != wireMagic {
+			// Trailing garbage shorter than a header; treat as EOF after
+			// the resync scan fails to find another record.
+			return nil, ErrBadMagic
+		}
+		return nil, unexpectedEOF(err)
+	}
+	if getU32(hdr) != wireMagic {
+		return nil, ErrBadMagic
+	}
+	rec := &Record{
+		Kind:        Kind(hdr[4]),
+		Subtype:     getU16(hdr[5:]),
+		Scope:       getU16(hdr[7:]),
+		ScopeType:   ScopeType(getU16(hdr[9:])),
+		Seq:         getU64(hdr[11:]),
+		SourceID:    getU32(hdr[19:]),
+		PayloadType: PayloadType(getU16(hdr[23:])),
+	}
+	plen := getU32(hdr[25:])
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
+	}
+	if !rec.Kind.Valid() {
+		return nil, fmt.Errorf("record: invalid kind %d on wire", hdr[4])
+	}
+	if want := getU16(hdr[hdrCRCOff:]); uint16(crc32.ChecksumIEEE(hdr[4:hdrCRCOff])) != want {
+		return nil, fmt.Errorf("%w: header CRC", ErrBadChecksum)
+	}
+	total := headerSize + int(plen) + trailerSize
+	if total <= r.r.Size() {
+		full, err := r.r.Peek(total)
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		payload := full[headerSize : headerSize+int(plen)]
+		want := getU32(full[headerSize+int(plen):])
+		if got := crc32.ChecksumIEEE(full[4 : headerSize+int(plen)]); got != want {
+			return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadChecksum, got, want)
+		}
+		if plen > 0 {
+			rec.Payload = make([]byte, plen)
+			copy(rec.Payload, payload)
+		}
+		if _, err := r.r.Discard(total); err != nil {
+			return nil, fmt.Errorf("record: discard: %w", err)
+		}
+		return rec, nil
+	}
+	// Record exceeds the peek window: consume as we go. A checksum failure
+	// on this path cannot rewind, so corruption may cost trailing records.
+	var hdrCopy [headerSize]byte
+	copy(hdrCopy[:], hdr)
+	if _, err := r.r.Discard(headerSize); err != nil {
+		return nil, fmt.Errorf("record: discard header: %w", err)
+	}
+	body := make([]byte, int(plen)+trailerSize)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	rec.Payload = body[:plen:plen]
+	want := getU32(body[plen:])
+	got := crc32.ChecksumIEEE(hdrCopy[4:])
+	got = crc32.Update(got, crc32.IEEETable, rec.Payload)
+	if got != want {
+		return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadChecksum, got, want)
+	}
+	if plen == 0 {
+		rec.Payload = nil
+	}
+	return rec, nil
+}
+
+// getU32Partial reads up to 4 bytes, zero-padding; used only to distinguish
+// trailing garbage from a truncated record start.
+func getU32Partial(b []byte) uint32 {
+	var v uint32
+	for i := 0; i < len(b) && i < 4; i++ {
+		v |= uint32(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// seekMagic advances the reader until the next 4 bytes are the magic word
+// (without consuming them).
+func (r *Reader) seekMagic() error {
+	for {
+		b, err := r.r.Peek(4)
+		if err != nil {
+			return io.EOF
+		}
+		if getU32(b) == wireMagic {
+			return nil
+		}
+		if _, err := r.r.Discard(1); err != nil {
+			return io.EOF
+		}
+	}
+}
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func getU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

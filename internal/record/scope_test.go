@@ -1,0 +1,251 @@
+package record
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestTrackerBalanced(t *testing.T) {
+	tr := NewTracker()
+	seq := []*Record{
+		NewOpenScope(ScopeSession, 0),
+		NewOpenScope(ScopeClip, 1),
+		NewData(SubtypeAudio),
+		NewOpenScope(ScopeEnsemble, 2),
+		NewData(SubtypeAudio),
+		NewCloseScope(ScopeEnsemble, 2),
+		NewCloseScope(ScopeClip, 1),
+		NewCloseScope(ScopeSession, 0),
+	}
+	for i, r := range seq {
+		if err := tr.Observe(r); err != nil {
+			t.Fatalf("record %d (%s): %v", i, r, err)
+		}
+	}
+	if tr.Depth() != 0 {
+		t.Errorf("depth after balanced sequence = %d, want 0", tr.Depth())
+	}
+}
+
+func TestTrackerDepthMismatchOpen(t *testing.T) {
+	tr := NewTracker()
+	if err := tr.Observe(NewOpenScope(ScopeClip, 3)); !errors.Is(err, ErrScopeBalance) {
+		t.Errorf("expected ErrScopeBalance, got %v", err)
+	}
+}
+
+func TestTrackerCloseWithoutOpen(t *testing.T) {
+	tr := NewTracker()
+	if err := tr.Observe(NewCloseScope(ScopeClip, 0)); !errors.Is(err, ErrScopeBalance) {
+		t.Errorf("expected ErrScopeBalance, got %v", err)
+	}
+}
+
+func TestTrackerCloseWrongDepth(t *testing.T) {
+	tr := NewTracker()
+	mustObserve(t, tr, NewOpenScope(ScopeClip, 0))
+	if err := tr.Observe(NewCloseScope(ScopeClip, 5)); !errors.Is(err, ErrScopeBalance) {
+		t.Errorf("expected ErrScopeBalance, got %v", err)
+	}
+}
+
+func TestTrackerCloseWrongType(t *testing.T) {
+	tr := NewTracker()
+	mustObserve(t, tr, NewOpenScope(ScopeClip, 0))
+	if err := tr.Observe(NewCloseScope(ScopeEnsemble, 0)); !errors.Is(err, ErrScopeBalance) {
+		t.Errorf("expected ErrScopeBalance, got %v", err)
+	}
+}
+
+func TestTrackerBadCloseAccepted(t *testing.T) {
+	tr := NewTracker()
+	mustObserve(t, tr, NewOpenScope(ScopeClip, 0))
+	if err := tr.Observe(NewBadCloseScope(ScopeClip, 0)); err != nil {
+		t.Errorf("BadCloseScope should close a scope: %v", err)
+	}
+	if tr.Depth() != 0 {
+		t.Errorf("depth = %d, want 0", tr.Depth())
+	}
+}
+
+func TestTrackerInvalidKind(t *testing.T) {
+	tr := NewTracker()
+	if err := tr.Observe(&Record{Kind: Kind(0)}); err == nil {
+		t.Error("expected error for invalid kind")
+	}
+}
+
+func TestTrackerCloseAll(t *testing.T) {
+	tr := NewTracker()
+	mustObserve(t, tr, NewOpenScope(ScopeSession, 0))
+	mustObserve(t, tr, NewOpenScope(ScopeClip, 1))
+	mustObserve(t, tr, NewOpenScope(ScopeEnsemble, 2))
+	closes := tr.CloseAll()
+	if len(closes) != 3 {
+		t.Fatalf("CloseAll returned %d records, want 3", len(closes))
+	}
+	// Innermost first.
+	wantTypes := []ScopeType{ScopeEnsemble, ScopeClip, ScopeSession}
+	wantDepths := []uint16{2, 1, 0}
+	for i, r := range closes {
+		if r.Kind != KindBadCloseScope {
+			t.Errorf("close %d kind = %s, want BadCloseScope", i, r.Kind)
+		}
+		if r.ScopeType != wantTypes[i] || r.Scope != wantDepths[i] {
+			t.Errorf("close %d = %s/%d, want %s/%d", i, r.ScopeType, r.Scope, wantTypes[i], wantDepths[i])
+		}
+	}
+	if tr.Depth() != 0 {
+		t.Error("tracker not reset after CloseAll")
+	}
+	// The synthesized closes must themselves be a valid closing sequence.
+	tr2 := NewTracker()
+	mustObserve(t, tr2, NewOpenScope(ScopeSession, 0))
+	mustObserve(t, tr2, NewOpenScope(ScopeClip, 1))
+	mustObserve(t, tr2, NewOpenScope(ScopeEnsemble, 2))
+	for _, r := range closes {
+		if err := tr2.Observe(r); err != nil {
+			t.Errorf("synthesized close rejected: %v", err)
+		}
+	}
+}
+
+func TestTrackerContextLookup(t *testing.T) {
+	tr := NewTracker()
+	sess := NewOpenScope(ScopeSession, 0)
+	sess.SetContext(map[string]string{CtxStation: "kbs-01", CtxSampleRate: "22050"})
+	clip := NewOpenScope(ScopeClip, 1)
+	clip.SetContext(map[string]string{CtxSampleRate: "24576"})
+	mustObserve(t, tr, sess)
+	mustObserve(t, tr, clip)
+
+	// Innermost scope shadows outer for the same key.
+	if v, ok := tr.ContextValue(CtxSampleRate); !ok || v != "24576" {
+		t.Errorf("ContextValue(sample_rate) = %q, %v; want 24576", v, ok)
+	}
+	// Outer-scope keys remain visible.
+	if v, ok := tr.ContextValue(CtxStation); !ok || v != "kbs-01" {
+		t.Errorf("ContextValue(station) = %q, %v; want kbs-01", v, ok)
+	}
+	if _, ok := tr.ContextValue("absent"); ok {
+		t.Error("absent key should not be found")
+	}
+}
+
+func TestTrackerTopAndFrames(t *testing.T) {
+	tr := NewTracker()
+	if _, ok := tr.Top(); ok {
+		t.Error("Top on empty tracker should report false")
+	}
+	mustObserve(t, tr, NewOpenScope(ScopeClip, 0))
+	top, ok := tr.Top()
+	if !ok || top.Type != ScopeClip || top.Depth != 0 {
+		t.Errorf("Top = %+v, %v", top, ok)
+	}
+	frames := tr.Frames()
+	if len(frames) != 1 || frames[0].Type != ScopeClip {
+		t.Errorf("Frames = %+v", frames)
+	}
+	frames[0].Type = ScopeEnsemble // must not alias internal state
+	if top, _ := tr.Top(); top.Type != ScopeClip {
+		t.Error("Frames aliases tracker internals")
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker()
+	mustObserve(t, tr, NewOpenScope(ScopeClip, 0))
+	tr.Reset()
+	if tr.Depth() != 0 {
+		t.Error("Reset did not clear scopes")
+	}
+}
+
+func TestScopeBuilderNesting(t *testing.T) {
+	var b ScopeBuilder
+	open1 := b.Open(ScopeClip, map[string]string{CtxSampleRate: "24576"})
+	if open1.Scope != 0 || open1.Kind != KindOpenScope {
+		t.Errorf("first open: %s", open1)
+	}
+	open2 := b.Open(ScopeEnsemble, nil)
+	if open2.Scope != 1 {
+		t.Errorf("nested open depth = %d, want 1", open2.Scope)
+	}
+	if b.Depth() != 2 {
+		t.Errorf("builder depth = %d, want 2", b.Depth())
+	}
+	close2 := b.Close()
+	if close2.ScopeType != ScopeEnsemble || close2.Scope != 1 {
+		t.Errorf("close = %s", close2)
+	}
+	close1 := b.Close()
+	if close1.ScopeType != ScopeClip || close1.Scope != 0 {
+		t.Errorf("close = %s", close1)
+	}
+	if b.Close() != nil {
+		t.Error("Close with no open scope should return nil")
+	}
+}
+
+func TestScopeBuilderCloseAll(t *testing.T) {
+	var b ScopeBuilder
+	b.Open(ScopeClip, nil)
+	b.Open(ScopeEnsemble, nil)
+	recs := b.CloseAll()
+	if len(recs) != 2 || recs[0].ScopeType != ScopeEnsemble || recs[1].ScopeType != ScopeClip {
+		t.Errorf("CloseAll = %v", recs)
+	}
+	if b.Depth() != 0 {
+		t.Error("builder not reset")
+	}
+}
+
+// Property: any randomly generated balanced scope sequence is accepted, and
+// the tracker depth returns to zero.
+func TestQuickBalancedSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		tr := NewTracker()
+		depth := 0
+		steps := rng.Intn(60)
+		for i := 0; i < steps; i++ {
+			switch {
+			case depth == 0 || (rng.Intn(2) == 0 && depth < 10):
+				r := NewOpenScope(ScopeType(rng.Intn(5)), uint16(depth))
+				if err := tr.Observe(r); err != nil {
+					t.Fatalf("trial %d: open rejected: %v", trial, err)
+				}
+				depth++
+			default:
+				top, _ := tr.Top()
+				var r *Record
+				if rng.Intn(4) == 0 {
+					r = NewBadCloseScope(top.Type, top.Depth)
+				} else {
+					r = NewCloseScope(top.Type, top.Depth)
+				}
+				if err := tr.Observe(r); err != nil {
+					t.Fatalf("trial %d: close rejected: %v", trial, err)
+				}
+				depth--
+			}
+			if tr.Depth() != depth {
+				t.Fatalf("trial %d: tracker depth %d, want %d", trial, tr.Depth(), depth)
+			}
+		}
+		for _, r := range tr.CloseAll() {
+			_ = r
+		}
+		if tr.Depth() != 0 {
+			t.Fatalf("trial %d: CloseAll left depth %d", trial, tr.Depth())
+		}
+	}
+}
+
+func mustObserve(t *testing.T, tr *Tracker, r *Record) {
+	t.Helper()
+	if err := tr.Observe(r); err != nil {
+		t.Fatalf("Observe(%s): %v", r, err)
+	}
+}

@@ -1,0 +1,216 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBitmapBasicCounts(t *testing.T) {
+	b, err := NewBitmap(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Alphabet() != 3 || b.Gram() != 2 || b.Cells() != 9 {
+		t.Fatalf("shape: a=%d g=%d cells=%d", b.Alphabet(), b.Gram(), b.Cells())
+	}
+	b.AddWord([]int{0, 1, 2, 1}) // grams: 01, 12, 21
+	if b.Total() != 3 {
+		t.Errorf("Total = %d, want 3", b.Total())
+	}
+	if f := b.Frequency([]int{0, 1}); !almostEqual(f, 1.0/3, 1e-12) {
+		t.Errorf("freq(01) = %v", f)
+	}
+	if f := b.Frequency([]int{2, 2}); f != 0 {
+		t.Errorf("freq(22) = %v, want 0", f)
+	}
+}
+
+func TestBitmapIncDec(t *testing.T) {
+	b, _ := NewBitmap(4, 1)
+	b.Inc([]int{2})
+	b.Inc([]int{2})
+	b.Dec([]int{2})
+	if b.Total() != 1 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	if f := b.Frequency([]int{2}); f != 1 {
+		t.Errorf("freq = %v", f)
+	}
+}
+
+func TestBitmapDecUnderflowPanics(t *testing.T) {
+	b, _ := NewBitmap(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on cell underflow")
+		}
+	}()
+	b.Dec([]int{0})
+}
+
+func TestBitmapGramLengthPanics(t *testing.T) {
+	b, _ := NewBitmap(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on gram length mismatch")
+		}
+	}()
+	b.Inc([]int{1})
+}
+
+func TestBitmapClamping(t *testing.T) {
+	b, _ := NewBitmap(4, 1)
+	b.Inc([]int{-5})
+	b.Inc([]int{99})
+	if f := b.Frequency([]int{0}); !almostEqual(f, 0.5, 1e-12) {
+		t.Errorf("clamped low freq = %v", f)
+	}
+	if f := b.Frequency([]int{3}); !almostEqual(f, 0.5, 1e-12) {
+		t.Errorf("clamped high freq = %v", f)
+	}
+}
+
+func TestBitmapShapeErrors(t *testing.T) {
+	if _, err := NewBitmap(1, 1); err == nil {
+		t.Error("alphabet 1 should be rejected")
+	}
+	if _, err := NewBitmap(4, 0); err == nil {
+		t.Error("gram 0 should be rejected")
+	}
+	if _, err := NewBitmap(4, 5); err == nil {
+		t.Error("gram 5 should be rejected")
+	}
+}
+
+func TestBitmapFrequenciesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, _ := NewBitmap(5, 2)
+	word := make([]int, 500)
+	for i := range word {
+		word[i] = rng.Intn(5)
+	}
+	b.AddWord(word)
+	var sum float64
+	for _, f := range b.Frequencies() {
+		if f < 0 {
+			t.Fatal("negative frequency")
+		}
+		sum += f
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("frequencies sum to %v", sum)
+	}
+}
+
+func TestBitmapEmptyFrequencies(t *testing.T) {
+	b, _ := NewBitmap(4, 2)
+	for _, f := range b.Frequencies() {
+		if f != 0 {
+			t.Fatal("empty bitmap should have zero frequencies")
+		}
+	}
+	if b.Frequency([]int{1, 1}) != 0 {
+		t.Error("empty bitmap frequency should be 0")
+	}
+}
+
+func TestBitmapResetAndClone(t *testing.T) {
+	b, _ := NewBitmap(3, 1)
+	b.AddWord([]int{0, 1, 2})
+	c := b.Clone()
+	b.Reset()
+	if b.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if c.Total() != 3 {
+		t.Error("Clone affected by Reset")
+	}
+	c.Inc([]int{0})
+	if b.Total() != 0 {
+		t.Error("Clone shares counts with original")
+	}
+}
+
+func TestBitmapDistanceIdentical(t *testing.T) {
+	a, _ := NewBitmap(4, 2)
+	b, _ := NewBitmap(4, 2)
+	word := []int{0, 1, 2, 3, 2, 1, 0}
+	a.AddWord(word)
+	b.AddWord(word)
+	d, err := BitmapDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("identical bitmaps distance = %v", d)
+	}
+}
+
+func TestBitmapDistanceDisjoint(t *testing.T) {
+	a, _ := NewBitmap(2, 1)
+	b, _ := NewBitmap(2, 1)
+	a.AddWord([]int{0, 0, 0})
+	b.AddWord([]int{1, 1, 1})
+	d, _ := BitmapDistance(a, b)
+	// Frequency vectors (1,0) vs (0,1): distance sqrt(2).
+	if !almostEqual(d, math.Sqrt2, 1e-12) {
+		t.Errorf("disjoint distance = %v, want sqrt(2)", d)
+	}
+}
+
+func TestBitmapDistanceShapeMismatch(t *testing.T) {
+	a, _ := NewBitmap(4, 2)
+	b, _ := NewBitmap(4, 1)
+	if _, err := BitmapDistance(a, b); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	c, _ := NewBitmap(5, 2)
+	if _, err := BitmapDistance(a, c); err == nil {
+		t.Error("alphabet mismatch should error")
+	}
+}
+
+func TestBitmapDistanceEmptyOperands(t *testing.T) {
+	a, _ := NewBitmap(3, 1)
+	b, _ := NewBitmap(3, 1)
+	if d, err := BitmapDistance(a, b); err != nil || d != 0 {
+		t.Errorf("two empty bitmaps: d=%v err=%v", d, err)
+	}
+	b.AddWord([]int{0, 1})
+	if d, _ := BitmapDistance(a, b); d <= 0 {
+		t.Errorf("empty vs non-empty should be positive, got %v", d)
+	}
+}
+
+// Property: bitmap distance is a metric-like measure — symmetric,
+// non-negative, zero on identity, and bounded by sqrt(2) for frequency
+// vectors.
+func TestQuickBitmapDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		a, _ := NewBitmap(4, 2)
+		b, _ := NewBitmap(4, 2)
+		wa := make([]int, 2+rng.Intn(100))
+		wb := make([]int, 2+rng.Intn(100))
+		for i := range wa {
+			wa[i] = rng.Intn(4)
+		}
+		for i := range wb {
+			wb[i] = rng.Intn(4)
+		}
+		a.AddWord(wa)
+		b.AddWord(wb)
+		dab, err := BitmapDistance(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dba, _ := BitmapDistance(b, a)
+		if !almostEqual(dab, dba, 1e-12) {
+			t.Fatalf("not symmetric: %v vs %v", dab, dba)
+		}
+		if dab < 0 || dab > math.Sqrt2+1e-9 {
+			t.Fatalf("distance out of range: %v", dab)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPAAExactDivision(t *testing.T) {
+	series := []float64{1, 3, 5, 7, 2, 4}
+	got, err := PAA(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 3}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("PAA[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPAAIdentity(t *testing.T) {
+	series := []float64{4, 2, 9}
+	got, err := PAA(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range series {
+		if got[i] != series[i] {
+			t.Errorf("w=n should be identity, got %v", got)
+			break
+		}
+	}
+	got[0] = 99
+	if series[0] == 99 {
+		t.Error("PAA output aliases input")
+	}
+}
+
+func TestPAASingleSegment(t *testing.T) {
+	series := []float64{2, 4, 6}
+	got, err := PAA(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got[0], 4, 1e-12) {
+		t.Errorf("PAA single segment = %v, want 4", got[0])
+	}
+}
+
+func TestPAAFractionalFrames(t *testing.T) {
+	// n=5, w=2: frame length 2.5. Frame 0 = (a + b + 0.5c)/2.5.
+	series := []float64{1, 2, 3, 4, 5}
+	got, err := PAA(series, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := (1 + 2 + 0.5*3) / 2.5
+	want1 := (0.5*3 + 4 + 5) / 2.5
+	if !almostEqual(got[0], want0, 1e-12) || !almostEqual(got[1], want1, 1e-12) {
+		t.Errorf("PAA fractional = %v, want [%v %v]", got, want0, want1)
+	}
+}
+
+func TestPAAErrors(t *testing.T) {
+	if _, err := PAA(nil, 1); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := PAA([]float64{1, 2}, 0); !errors.Is(err, ErrBadSegments) {
+		t.Errorf("w=0: %v", err)
+	}
+	if _, err := PAA([]float64{1, 2}, 3); !errors.Is(err, ErrBadSegments) {
+		t.Errorf("w>n: %v", err)
+	}
+}
+
+// Property: PAA preserves the overall mean for any series and any segment
+// count (each sample contributes equally through the fractional frames).
+func TestQuickPAAMeanPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(64)
+		w := 1 + rng.Intn(n)
+		series := make([]float64, n)
+		for i := range series {
+			series[i] = rng.NormFloat64() * 5
+		}
+		paa, err := PAA(series, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paa) != w {
+			t.Fatalf("trial %d: len = %d, want %d", trial, len(paa), w)
+		}
+		if !almostEqual(Mean(paa), Mean(series), 1e-9) {
+			t.Fatalf("trial %d (n=%d w=%d): PAA mean %v != series mean %v",
+				trial, n, w, Mean(paa), Mean(series))
+		}
+	}
+}
+
+// Property: PAA of a constant series is constant.
+func TestQuickPAAConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		w := 1 + rng.Intn(n)
+		c := rng.NormFloat64()
+		series := make([]float64, n)
+		for i := range series {
+			series[i] = c
+		}
+		paa, err := PAA(series, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range paa {
+			if !almostEqual(x, c, 1e-9) {
+				t.Fatalf("trial %d: paa[%d] = %v, want %v", trial, i, x, c)
+			}
+		}
+	}
+}
+
+// Property: PAA values are bounded by the series min and max.
+func TestQuickPAABounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		w := 1 + rng.Intn(n)
+		series := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range series {
+			series[i] = rng.NormFloat64()
+			lo = math.Min(lo, series[i])
+			hi = math.Max(hi, series[i])
+		}
+		paa, _ := PAA(series, w)
+		for i, x := range paa {
+			if x < lo-1e-9 || x > hi+1e-9 {
+				t.Fatalf("trial %d: paa[%d]=%v outside [%v, %v]", trial, i, x, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPAAReduce(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6, 7}
+	got, err := PAAReduce(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 5, 7} // (1+2+3)/3, (4+5+6)/3, 7/1
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("PAAReduce[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPAAReduceFactorOne(t *testing.T) {
+	series := []float64{1, 2, 3}
+	got, err := PAAReduce(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 42
+	if series[0] == 42 {
+		t.Error("factor-1 reduce aliases input")
+	}
+}
+
+func TestPAAReduceErrors(t *testing.T) {
+	if _, err := PAAReduce(nil, 2); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := PAAReduce([]float64{1}, 0); !errors.Is(err, ErrBadSegments) {
+		t.Errorf("factor 0: %v", err)
+	}
+}
+
+// Paper geometry: 1050 spectral features reduce to 105 with factor 10.
+func TestPAAReducePaperGeometry(t *testing.T) {
+	series := make([]float64, 1050)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	got, err := PAAReduce(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 105 {
+		t.Errorf("reduced length = %d, want 105", len(got))
+	}
+	if !almostEqual(got[0], 4.5, 1e-12) {
+		t.Errorf("first reduced value = %v, want 4.5", got[0])
+	}
+}

@@ -1,0 +1,147 @@
+// Package wav reads and writes minimal PCM WAV files: 16-bit little-endian
+// integer samples, mono or multi-channel, the format the sensor stations
+// in the paper upload. Only the fmt and data chunks are interpreted; other
+// chunks are skipped.
+package wav
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Format describes the PCM stream carried by a WAV file.
+type Format struct {
+	SampleRate int // samples per second per channel
+	Channels   int
+}
+
+// Errors returned by the decoder.
+var (
+	ErrNotWAV       = errors.New("wav: not a RIFF/WAVE file")
+	ErrUnsupported  = errors.New("wav: unsupported encoding (want 16-bit PCM)")
+	ErrMissingChunk = errors.New("wav: missing fmt or data chunk")
+)
+
+// Encode writes samples as a 16-bit PCM WAV file. Multi-channel samples
+// must be interleaved.
+func Encode(w io.Writer, f Format, samples []int16) error {
+	if f.SampleRate <= 0 {
+		return fmt.Errorf("wav: sample rate %d must be positive", f.SampleRate)
+	}
+	if f.Channels <= 0 {
+		return fmt.Errorf("wav: channel count %d must be positive", f.Channels)
+	}
+	dataLen := 2 * len(samples)
+	blockAlign := 2 * f.Channels
+	byteRate := f.SampleRate * blockAlign
+
+	var hdr []byte
+	hdr = append(hdr, "RIFF"...)
+	hdr = appendLE32(hdr, uint32(36+dataLen))
+	hdr = append(hdr, "WAVE"...)
+	hdr = append(hdr, "fmt "...)
+	hdr = appendLE32(hdr, 16)
+	hdr = appendLE16(hdr, 1) // PCM
+	hdr = appendLE16(hdr, uint16(f.Channels))
+	hdr = appendLE32(hdr, uint32(f.SampleRate))
+	hdr = appendLE32(hdr, uint32(byteRate))
+	hdr = appendLE16(hdr, uint16(blockAlign))
+	hdr = appendLE16(hdr, 16) // bits per sample
+	hdr = append(hdr, "data"...)
+	hdr = appendLE32(hdr, uint32(dataLen))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wav: write header: %w", err)
+	}
+	buf := make([]byte, 0, 32<<10)
+	for _, s := range samples {
+		buf = append(buf, byte(uint16(s)), byte(uint16(s)>>8))
+		if len(buf) >= 32<<10 {
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("wav: write samples: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("wav: write samples: %w", err)
+		}
+	}
+	return nil
+}
+
+// Decode reads a 16-bit PCM WAV file, returning its format and interleaved
+// samples.
+func Decode(r io.Reader) (Format, []int16, error) {
+	var f Format
+	var riff [12]byte
+	if _, err := io.ReadFull(r, riff[:]); err != nil {
+		return f, nil, fmt.Errorf("%w: %v", ErrNotWAV, err)
+	}
+	if string(riff[0:4]) != "RIFF" || string(riff[8:12]) != "WAVE" {
+		return f, nil, ErrNotWAV
+	}
+	var haveFmt bool
+	for {
+		var chunkHdr [8]byte
+		if _, err := io.ReadFull(r, chunkHdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return f, nil, ErrMissingChunk
+			}
+			return f, nil, fmt.Errorf("wav: read chunk header: %w", err)
+		}
+		id := string(chunkHdr[0:4])
+		size := int(le32(chunkHdr[4:]))
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return f, nil, ErrUnsupported
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return f, nil, fmt.Errorf("wav: read fmt chunk: %w", err)
+			}
+			if le16(body[0:]) != 1 || le16(body[14:]) != 16 {
+				return f, nil, ErrUnsupported
+			}
+			f.Channels = int(le16(body[2:]))
+			f.SampleRate = int(le32(body[4:]))
+			if f.Channels <= 0 || f.SampleRate <= 0 {
+				return f, nil, ErrUnsupported
+			}
+			haveFmt = true
+		case "data":
+			if !haveFmt {
+				return f, nil, ErrMissingChunk
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return f, nil, fmt.Errorf("wav: read data chunk: %w", err)
+			}
+			samples := make([]int16, size/2)
+			for i := range samples {
+				samples[i] = int16(uint16(body[2*i]) | uint16(body[2*i+1])<<8)
+			}
+			return f, samples, nil
+		default:
+			// Skip unknown chunks (and their pad byte when size is odd).
+			skip := int64(size + size%2)
+			if _, err := io.CopyN(io.Discard, r, skip); err != nil {
+				return f, nil, fmt.Errorf("wav: skip %q chunk: %w", id, err)
+			}
+		}
+	}
+}
+
+func appendLE16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+
+func appendLE32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

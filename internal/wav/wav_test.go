@@ -1,0 +1,214 @@
+package wav
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripMono(t *testing.T) {
+	samples := []int16{0, 100, -100, 32767, -32768, 5}
+	var buf bytes.Buffer
+	if err := Encode(&buf, Format{SampleRate: 24576, Channels: 1}, samples); err != nil {
+		t.Fatal(err)
+	}
+	f, got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SampleRate != 24576 || f.Channels != 1 {
+		t.Errorf("format = %+v", f)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Errorf("samples mismatch: %v != %v", got, samples)
+	}
+}
+
+func TestRoundTripStereo(t *testing.T) {
+	samples := []int16{1, -1, 2, -2, 3, -3}
+	var buf bytes.Buffer
+	if err := Encode(&buf, Format{SampleRate: 44100, Channels: 2}, samples); err != nil {
+		t.Fatal(err)
+	}
+	f, got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Channels != 2 || f.SampleRate != 44100 {
+		t.Errorf("format = %+v", f)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Errorf("samples mismatch")
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Format{SampleRate: 8000, Channels: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected no samples, got %d", len(got))
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Format{SampleRate: 0, Channels: 1}, nil); err == nil {
+		t.Error("zero sample rate should be rejected")
+	}
+	if err := Encode(&buf, Format{SampleRate: 8000, Channels: 0}, nil); err == nil {
+		t.Error("zero channels should be rejected")
+	}
+}
+
+func TestDecodeNotWAV(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("RIFFxxxxJUNK"),
+		[]byte("JUNKxxxxWAVE"),
+	}
+	for i, c := range cases {
+		if _, _, err := Decode(bytes.NewReader(c)); !errors.Is(err, ErrNotWAV) {
+			t.Errorf("case %d: expected ErrNotWAV, got %v", i, err)
+		}
+	}
+}
+
+func TestDecodeMissingData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Format{SampleRate: 8000, Channels: 1}, []int16{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate before the data chunk: header is 12 + 8 + 16 = 36 bytes to
+	// end of fmt; cut inside the data chunk header.
+	raw := buf.Bytes()[:38]
+	if _, _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Error("expected error for truncated file")
+	}
+}
+
+func TestDecodeDataBeforeFmt(t *testing.T) {
+	var b []byte
+	b = append(b, "RIFF"...)
+	b = appendLE32(b, 4+8)
+	b = append(b, "WAVE"...)
+	b = append(b, "data"...)
+	b = appendLE32(b, 0)
+	if _, _, err := Decode(bytes.NewReader(b)); !errors.Is(err, ErrMissingChunk) {
+		t.Errorf("expected ErrMissingChunk, got %v", err)
+	}
+}
+
+func TestDecodeUnsupportedEncoding(t *testing.T) {
+	// Build a float-format (tag 3) WAV header.
+	var b []byte
+	b = append(b, "RIFF"...)
+	b = appendLE32(b, 100)
+	b = append(b, "WAVE"...)
+	b = append(b, "fmt "...)
+	b = appendLE32(b, 16)
+	b = appendLE16(b, 3) // IEEE float
+	b = appendLE16(b, 1)
+	b = appendLE32(b, 8000)
+	b = appendLE32(b, 32000)
+	b = appendLE16(b, 4)
+	b = appendLE16(b, 32)
+	if _, _, err := Decode(bytes.NewReader(b)); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("expected ErrUnsupported, got %v", err)
+	}
+}
+
+func TestDecodeSkipsUnknownChunks(t *testing.T) {
+	// Hand-build: RIFF, LIST chunk (odd size -> pad byte), fmt, data.
+	samples := []int16{7, -7, 300}
+	var payload []byte
+	for _, s := range samples {
+		payload = appendLE16(payload, uint16(s))
+	}
+	var b []byte
+	b = append(b, "RIFF"...)
+	b = appendLE32(b, 0) // size not validated
+	b = append(b, "WAVE"...)
+	b = append(b, "LIST"...)
+	b = appendLE32(b, 3)
+	b = append(b, 'x', 'y', 'z', 0) // 3 bytes + pad
+	b = append(b, "fmt "...)
+	b = appendLE32(b, 16)
+	b = appendLE16(b, 1)
+	b = appendLE16(b, 1)
+	b = appendLE32(b, 22050)
+	b = appendLE32(b, 44100)
+	b = appendLE16(b, 2)
+	b = appendLE16(b, 16)
+	b = append(b, "data"...)
+	b = appendLE32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	f, got, err := Decode(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SampleRate != 22050 {
+		t.Errorf("sample rate = %d", f.SampleRate)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Errorf("samples = %v, want %v", got, samples)
+	}
+}
+
+// Property: encode/decode round trip preserves any sample vector.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(samples []int16, rateSel uint16) bool {
+		rate := 8000 + int(rateSel)%40000
+		var buf bytes.Buffer
+		if err := Encode(&buf, Format{SampleRate: rate, Channels: 1}, samples); err != nil {
+			return false
+		}
+		fm, got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if fm.SampleRate != rate || fm.Channels != 1 {
+			return false
+		}
+		if len(samples) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, samples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeClipRoundTrip(t *testing.T) {
+	// A 30-second clip at the repo's standard 24576 Hz rate.
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]int16, 30*24576)
+	for i := range samples {
+		samples[i] = int16(rng.Intn(65536) - 32768)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, Format{SampleRate: 24576, Channels: 1}, samples); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := 44 + 2*len(samples)
+	if buf.Len() != wantBytes {
+		t.Errorf("encoded size = %d, want %d", buf.Len(), wantBytes)
+	}
+	_, got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Error("large clip round trip mismatch")
+	}
+}
