@@ -3,7 +3,7 @@
 // station source, relocatable processing segments, and a collecting sink
 // connect over TCP using streamin/streamout.
 //
-// A three-process pipeline on one machine:
+// A three-process pipeline on one machine, wired by hand:
 //
 //	dynriver sink -listen :7103
 //	dynriver segment -type extract -listen :7102 -to 127.0.0.1:7103
@@ -12,6 +12,21 @@
 // The sink prints the ensembles it receives. Killing the segment process
 // mid-clip and restarting it demonstrates scope repair: the sink reports
 // BadCloseScope-discarded ensembles instead of corrupt ones.
+//
+// The coordinator subcommands automate the wiring and the recovery. The
+// coordinator owns the topology; nodes register and are assigned segments;
+// the station follows the pipeline entry address through failovers:
+//
+//	dynriver sink -listen :7103
+//	dynriver coord -listen :7100 -sink 127.0.0.1:7103 -segments extract
+//	dynriver node -name host-a -coord 127.0.0.1:7100
+//	dynriver node -name host-b -coord 127.0.0.1:7100
+//	dynriver station -coord 127.0.0.1:7100 -clips 4
+//	dynriver status -coord 127.0.0.1:7100
+//
+// Killing one node process mid-clip makes the coordinator re-place its
+// segments on the survivor and redirect the stream; the sink reports the
+// scope repairs instead of corrupt ensembles.
 package main
 
 import (
@@ -20,12 +35,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/ops"
 	"repro/internal/pipeline"
 	"repro/internal/record"
+	"repro/internal/river"
 	"repro/internal/synth"
 )
 
@@ -42,6 +60,12 @@ func main() {
 		err = runSegment(os.Args[2:])
 	case "sink":
 		err = runSink(os.Args[2:])
+	case "coord":
+		err = runCoord(os.Args[2:])
+	case "node":
+		err = runNode(os.Args[2:])
+	case "status":
+		err = runStatus(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -54,45 +78,17 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dynriver station -to HOST:PORT [-clips N] [-seed S] [-seconds SEC]
+  dynriver station (-to HOST:PORT | -coord HOST:PORT) [-clips N] [-seed S] [-seconds SEC]
   dynriver segment -type extract|spectral|full -listen ADDR -to HOST:PORT
-  dynriver sink -listen ADDR [-conns N]`)
+  dynriver sink -listen ADDR [-conns N]
+  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-heartbeat D] [-timeout D]
+  dynriver node -name NAME -coord HOST:PORT [-host IP]
+  dynriver status -coord HOST:PORT`)
 }
 
-func runStation(args []string) error {
-	fs := flag.NewFlagSet("station", flag.ExitOnError)
-	to := fs.String("to", "", "downstream address (required)")
-	clips := fs.Int("clips", 2, "clips to transmit")
-	seed := fs.Int64("seed", 1, "clip generator seed")
-	seconds := fs.Float64("seconds", 10, "seconds per clip")
-	name := fs.String("name", "kbs-01", "station name")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *to == "" {
-		return fmt.Errorf("station: -to is required")
-	}
-	station := synth.NewStation(*name, *seed, synth.ClipConfig{Seconds: *seconds})
-	out := pipeline.NewStreamOut(*to)
-	defer out.Close()
-	p := pipeline.New().
-		SetSource(&ops.StationSource{Station: station, ClipCount: *clips}).
-		SetSink(out)
-	fmt.Printf("station %s: sending %d clip(s) of %.0fs to %s\n", *name, *clips, *seconds, *to)
-	return p.Run(interruptContext())
-}
-
-func runSegment(args []string) error {
-	fs := flag.NewFlagSet("segment", flag.ExitOnError)
-	typ := fs.String("type", "extract", "segment type: extract, spectral or full")
-	listen := fs.String("listen", ":0", "listen address for upstream records")
-	to := fs.String("to", "", "downstream address (required)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *to == "" {
-		return fmt.Errorf("segment: -to is required")
-	}
+// builtinRegistry exposes the acoustic pipeline's segment types to both
+// the manual segment subcommand and coordinator-driven nodes.
+func builtinRegistry() *pipeline.Registry {
 	reg := pipeline.NewRegistry()
 	reg.Register("extract", func() []pipeline.Operator {
 		opsList, _, err := ops.ExtractionOps(ops.DefaultExtractConfig())
@@ -109,7 +105,99 @@ func runSegment(args []string) error {
 		}
 		return append(opsList, ops.SpectralOps(10)...)
 	})
-	node := pipeline.NewNode("cli", reg)
+	return reg
+}
+
+func runStation(args []string) error {
+	fs := flag.NewFlagSet("station", flag.ExitOnError)
+	to := fs.String("to", "", "downstream address (exclusive with -coord)")
+	coordAddr := fs.String("coord", "", "coordinator address to resolve and follow the pipeline entry")
+	clips := fs.Int("clips", 2, "clips to transmit")
+	seed := fs.Int64("seed", 1, "clip generator seed")
+	seconds := fs.Float64("seconds", 10, "seconds per clip")
+	name := fs.String("name", "kbs-01", "station name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*to == "") == (*coordAddr == "") {
+		return fmt.Errorf("station: exactly one of -to or -coord is required")
+	}
+	ctx := interruptContext()
+
+	var out *pipeline.StreamOut
+	if *coordAddr != "" {
+		// Follow the pipeline entry address published by the coordinator:
+		// the first update tells us where to dial, later ones re-route the
+		// stream when the control plane moves the first segment. The watch
+		// session itself reconnects with backoff so a coordinator restart
+		// or network blip cannot strand the station on a stale address.
+		entryCh := make(chan string, 8)
+		wctx, wcancel := context.WithCancel(ctx)
+		defer wcancel()
+		go func() {
+			for {
+				err := river.WatchEntry(wctx, *coordAddr, func(a string) {
+					select {
+					case entryCh <- a:
+					default:
+					}
+				})
+				if wctx.Err() != nil {
+					return
+				}
+				fmt.Printf("station: entry watch lost (%v); reconnecting\n", err)
+				select {
+				case <-time.After(time.Second):
+				case <-wctx.Done():
+					return
+				}
+			}
+		}()
+		var entry string
+		select {
+		case entry = <-entryCh:
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("station: no pipeline entry from coordinator %s after 30s", *coordAddr)
+		case <-ctx.Done():
+			return nil
+		}
+		out = pipeline.NewStreamOut(entry)
+		go func() {
+			for {
+				select {
+				case a := <-entryCh:
+					out.Redirect(a)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		fmt.Printf("station: pipeline entry resolved to %s via coordinator %s\n", entry, *coordAddr)
+	} else {
+		out = pipeline.NewStreamOut(*to)
+	}
+	defer out.Close()
+
+	station := synth.NewStation(*name, *seed, synth.ClipConfig{Seconds: *seconds})
+	p := pipeline.New().
+		SetSource(&ops.StationSource{Station: station, ClipCount: *clips}).
+		SetSink(out)
+	fmt.Printf("station %s: sending %d clip(s) of %.0fs\n", *name, *clips, *seconds)
+	return p.Run(ctx)
+}
+
+func runSegment(args []string) error {
+	fs := flag.NewFlagSet("segment", flag.ExitOnError)
+	typ := fs.String("type", "extract", "segment type: extract, spectral or full")
+	listen := fs.String("listen", ":0", "listen address for upstream records")
+	to := fs.String("to", "", "downstream address (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("segment: -to is required")
+	}
+	node := pipeline.NewNode("cli", builtinRegistry())
 	addr, err := node.Host("seg", *typ, *listen, *to)
 	if err != nil {
 		return err
@@ -157,6 +245,130 @@ func runSink(args []string) error {
 	}
 	fmt.Printf("total ensembles: %d (discarded mid-failure: %d)\n", len(col.Ensembles()), col.Discarded())
 	return nil
+}
+
+// runCoord starts the control-plane coordinator for a pipeline of the
+// given segment types ending at a fixed sink address.
+func runCoord(args []string) error {
+	fs := flag.NewFlagSet("coord", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7100", "control listen address")
+	sinkAddr := fs.String("sink", "", "terminal sink address (required)")
+	segments := fs.String("segments", "extract", "comma-separated segment types (or name=type pairs), upstream first")
+	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat interval told to nodes")
+	timeout := fs.Duration("timeout", 0, "heartbeat silence before a node is declared dead (default 4x heartbeat)")
+	minNodes := fs.Int("min-nodes", 1, "nodes required before the initial placement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sinkAddr == "" {
+		return fmt.Errorf("coord: -sink is required")
+	}
+	spec := river.PipelineSpec{SinkAddr: *sinkAddr}
+	for i, part := range strings.Split(*segments, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, typ := fmt.Sprintf("s%d-%s", i+1, part), part
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			name, typ = part[:eq], part[eq+1:]
+		}
+		spec.Segments = append(spec.Segments, river.SegmentSpec{Name: name, Type: typ})
+	}
+	coord, err := river.NewCoordinator(river.Config{
+		ListenAddr:        *listen,
+		Spec:              spec,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatTimeout:  *timeout,
+		MinNodes:          *minNodes,
+		Logf:              func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coordinator listening on %s (%d segment(s) -> sink %s)\n",
+		coord.Addr(), len(spec.Segments), *sinkAddr)
+	<-interruptContext().Done()
+	return coord.Close()
+}
+
+// runNode runs a node agent that hosts segments the coordinator assigns,
+// reconnecting with backoff if the control connection drops.
+func runNode(args []string) error {
+	fs := flag.NewFlagSet("node", flag.ExitOnError)
+	name := fs.String("name", "", "node name (required, unique per coordinator)")
+	coordAddr := fs.String("coord", "", "coordinator address (required)")
+	host := fs.String("host", "127.0.0.1", "interface hosted segments listen on (must be dialable by upstream)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *coordAddr == "" {
+		return fmt.Errorf("node: -name and -coord are required")
+	}
+	ctx := interruptContext()
+	for ctx.Err() == nil {
+		agent := river.NewAgent(*name, *coordAddr, builtinRegistry())
+		agent.ListenHost = *host
+		agent.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+		err := agent.Run(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		fmt.Printf("node %s: control session ended (%v); reconnecting\n", *name, err)
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+		}
+	}
+	return nil
+}
+
+// runStatus prints a coordinator's cluster snapshot.
+func runStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	coordAddr := fs.String("coord", "", "coordinator address (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordAddr == "" {
+		return fmt.Errorf("status: -coord is required")
+	}
+	st, err := river.FetchStatus(*coordAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("entry: %s\nsink:  %s\n", orDash(st.EntryAddr), st.SinkAddr)
+	fmt.Printf("nodes (%d):\n", len(st.Nodes))
+	for _, n := range st.Nodes {
+		fmt.Printf("  %-12s last heartbeat %4dms ago\n", n.Name, n.LastBeatMS)
+		for _, s := range n.Segments {
+			state := ""
+			if s.Failed {
+				state = " FAILED"
+				if s.Err != "" {
+					state += " (" + s.Err + ")"
+				}
+			}
+			fmt.Printf("    %-12s %-10s at %-21s processed=%d emitted=%d conns=%d repairs=%d%s\n",
+				s.Name, "("+s.Type+")", s.Addr, s.Processed, s.Emitted, s.Conns, s.BadCloses, state)
+		}
+	}
+	fmt.Printf("placements (%d):\n", len(st.Placements))
+	for _, p := range st.Placements {
+		if p.Placed {
+			fmt.Printf("  %-12s (%s) on %s at %s\n", p.Seg, p.Type, p.Node, p.Addr)
+		} else {
+			fmt.Printf("  %-12s (%s) UNPLACED\n", p.Seg, p.Type)
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 var (

@@ -1,6 +1,10 @@
 // Recomposition: demonstrates Dynamic River's headline systems feature —
-// moving a pipeline segment between hosts mid-stream, and recovering from
-// an upstream host being killed while scopes are open. The terminal stage
+// surviving the loss of a host that is processing a stream mid-clip. Where
+// the paper (and earlier versions of this example) wired the recovery by
+// hand, here the control plane automates it: a coordinator owns the
+// topology, two node agents offer to host segments, and when the node
+// running the extraction segment is killed the coordinator re-places the
+// segment on the survivor and redirects the stream. The terminal stage
 // validates every record against the scope rules and reports the
 // BadCloseScope repairs that keep the stream meaningful.
 package main
@@ -15,6 +19,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/pipeline"
 	"repro/internal/record"
+	"repro/internal/river"
 	"repro/internal/synth"
 )
 
@@ -34,11 +39,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	terminal.MaxConns = 2 // one connection from host A, one from host B
-	terminal.IdleTimeout = 10 * time.Second
 	tracker := record.NewTracker()
+	var mu sync.Mutex
 	var ensembles, badCloses int
 	validate := pipeline.SinkFunc{SinkName: "validate", Fn: func(r *record.Record) error {
+		mu.Lock()
+		defer mu.Unlock()
 		if err := tracker.Observe(r); err != nil {
 			return fmt.Errorf("scope violation: %w", err)
 		}
@@ -61,17 +67,60 @@ func main() {
 		}
 	}()
 
-	nodeA := pipeline.NewNode("host-a", reg)
-	nodeB := pipeline.NewNode("host-b", reg)
-
-	// Phase 1: the extraction segment runs on host A.
-	addrA, err := nodeA.Host("extract", "extract", "127.0.0.1:0", terminal.Addr())
+	// Control plane: the coordinator owns the topology station -> extract
+	// -> terminal; the entry channel tells the station where to stream.
+	entryCh := make(chan string, 8)
+	coord, err := river.NewCoordinator(river.Config{
+		Spec: river.PipelineSpec{
+			Segments: []river.SegmentSpec{{Name: "extract", Type: "extract"}},
+			SinkAddr: terminal.Addr(),
+		},
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		OnEntryChange:     func(a string) { entryCh <- a },
+		Logf:              log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("phase 1: extraction segment on host-a at", addrA)
-	upstream := pipeline.NewStreamOut(addrA)
+	defer coord.Close()
+
+	// Two node agents register; the coordinator places the segment on one.
+	type liveAgent struct {
+		cancel context.CancelFunc
+		done   chan error
+	}
+	agents := map[string]*liveAgent{}
+	for _, name := range []string{"host-a", "host-b"} {
+		agent := river.NewAgent(name, coord.Addr(), reg)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- agent.Run(ctx) }()
+		agents[name] = &liveAgent{cancel: cancel, done: done}
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if err := coord.WaitPlaced(wctx); err != nil {
+		log.Fatal(err)
+	}
+	placed := coord.Status().Placements[0]
+	fmt.Printf("phase 1: coordinator placed segment %q on %s at %s\n", placed.Seg, placed.Node, placed.Addr)
+
+	// Station: a streamout that follows the coordinator's entry address.
+	upstream := pipeline.NewStreamOut(<-entryCh)
 	defer upstream.Close()
+	followerCtx, stopFollower := context.WithCancel(context.Background())
+	defer stopFollower()
+	go func() {
+		for {
+			select {
+			case a := <-entryCh:
+				upstream.Redirect(a)
+			case <-followerCtx.Done():
+				return
+			}
+		}
+	}()
 
 	station := synth.NewStation("kbs-01", 11, synth.ClipConfig{Seconds: 8, Events: 2})
 	sendClip := func() {
@@ -87,22 +136,18 @@ func main() {
 		fmt.Printf("station: sent clip %s\n", id)
 	}
 	sendClip()
-	time.Sleep(200 * time.Millisecond)
+	time.Sleep(300 * time.Millisecond)
 
-	// Phase 2: move the segment to host B while the pipeline is live.
-	coord := pipeline.NewCoordinator(reg)
-	addrB, err := coord.Move("extract", "extract", nodeA, nodeB, upstream, terminal.Addr())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("phase 2: segment moved to host-b at", addrB)
-	sendClip()
-	time.Sleep(200 * time.Millisecond)
-
-	// Phase 3: kill host B mid-clip — leave a clip scope open, then stop
-	// the node. The terminal repairs the dangling scopes.
+	// Phase 2: kill the hosting node mid-clip — stream part of a clip so
+	// scopes are open end to end, then stop the node abruptly. The
+	// coordinator detects the death, re-places the segment on the
+	// survivor and redirects the station's stream; the terminal repairs
+	// the dangling scopes.
 	open := record.NewOpenScope(record.ScopeClip, 0)
-	open.SetContext(map[string]string{record.CtxSampleRate: "24576", record.CtxClipID: "doomed"})
+	open.SetContext(map[string]string{
+		record.CtxSampleRate: "24576",
+		record.CtxClipID:     "doomed",
+	})
 	if err := upstream.Consume(open); err != nil {
 		log.Fatal(err)
 	}
@@ -111,17 +156,62 @@ func main() {
 	if err := upstream.Consume(data); err != nil {
 		log.Fatal(err)
 	}
-	time.Sleep(100 * time.Millisecond)
-	fmt.Println("phase 3: killing host-b mid-clip")
-	if err := nodeB.StopAll(); err != nil {
-		log.Println("host-b:", err)
+	time.Sleep(200 * time.Millisecond)
+
+	victim := coord.Status().Placements[0].Node
+	fmt.Printf("phase 2: killing %s mid-clip\n", victim)
+	killedAt := time.Now()
+	agents[victim].cancel()
+	<-agents[victim].done
+	delete(agents, victim)
+
+	// Wait for the coordinator to heal the pipeline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p := coord.Status().Placements[0]
+		if p.Placed && p.Node != victim {
+			fmt.Printf("phase 2: coordinator re-placed segment on %s at %s (%.0fms after kill)\n",
+				p.Node, p.Addr, time.Since(killedAt).Seconds()*1000)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("coordinator did not re-place the segment")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
+
+	// Phase 3: finish the doomed clip (the new instance discards its
+	// stray tail) and stream one more full clip through the healed
+	// pipeline.
+	if err := upstream.Consume(record.NewCloseScope(record.ScopeClip, 0)); err != nil {
+		log.Fatal(err)
+	}
+	sendClip()
+	time.Sleep(500 * time.Millisecond)
+
+	// Teardown: stop the station, the surviving node, the coordinator and
+	// the terminal, then report.
 	upstream.Close()
+	stopFollower()
+	for _, a := range agents {
+		a.cancel()
+		<-a.done
+	}
+	coord.Close()
+	terminal.Close()
 	wg.Wait()
 
+	mu.Lock()
+	defer mu.Unlock()
 	fmt.Printf("\nterminal survived: %d ensembles delivered, %d scope repairs, 0 scope violations\n",
 		ensembles, badCloses)
 	if tracker.Depth() != 0 {
 		log.Fatalf("stream ended with %d scopes open", tracker.Depth())
+	}
+	if badCloses == 0 {
+		log.Fatal("expected at least one scope repair from the killed node")
+	}
+	if ensembles == 0 {
+		log.Fatal("expected complete ensembles through the recomposed pipeline")
 	}
 }

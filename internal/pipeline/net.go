@@ -15,13 +15,23 @@ import (
 // StreamOut is a Sink that writes records to a downstream host over TCP,
 // the streamout operator of the paper. It dials lazily and redials with
 // backoff when the connection drops or the downstream moves, so a pipeline
-// survives dynamic recomposition of its consumer.
+// survives dynamic recomposition of its consumer. Redirect never waits on
+// an in-flight Consume: a write stuck redialling a dead host observes the
+// new address immediately, which is what lets a control plane splice a
+// re-placed segment back into a live stream.
 type StreamOut struct {
-	addr string
+	// writeMu serializes Consume callers; Redirect and Close do not take
+	// it, so they stay responsive while a write retries against a dead
+	// downstream.
+	writeMu sync.Mutex
 
-	mu     sync.Mutex
-	conn   net.Conn
-	w      *record.Writer
+	mu         sync.Mutex // guards the fields below
+	addr       string
+	gen        uint64 // bumped on every Redirect
+	conn       net.Conn
+	w          *record.Writer
+	redirected chan struct{} // closed on Redirect to wake backoff waits
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -35,6 +45,7 @@ func NewStreamOut(addr string) *StreamOut {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &StreamOut{
 		addr:       addr,
+		redirected: make(chan struct{}),
 		ctx:        ctx,
 		cancel:     cancel,
 		minBackoff: 10 * time.Millisecond,
@@ -43,29 +54,46 @@ func NewStreamOut(addr string) *StreamOut {
 }
 
 // Name implements Sink.
-func (s *StreamOut) Name() string { return "streamout(" + s.addr + ")" }
+func (s *StreamOut) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return "streamout(" + s.addr + ")"
+}
 
 // Redirect atomically switches the destination address; the next write
 // dials the new target. This is the mechanism pipeline recomposition uses
-// to splice a moved segment back into the stream.
+// to splice a moved segment back into the stream. It returns without
+// waiting for in-flight writes: a Consume blocked redialling the old
+// address wakes and retries against the new one. Redirecting to the
+// current address is a no-op, so a control plane re-announcing an
+// unchanged entry point cannot sever a healthy connection mid-stream.
 func (s *StreamOut) Redirect(addr string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if addr == s.addr {
+		return
+	}
 	s.addr = addr
+	s.gen++
 	s.dropConnLocked()
+	close(s.redirected)
+	s.redirected = make(chan struct{})
 }
 
 // Consume implements Sink: it writes the record, redialling as needed.
 func (s *StreamOut) Consume(r *record.Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	backoff := s.minBackoff
 	for {
 		if err := s.ctx.Err(); err != nil {
 			return ErrStopped
 		}
-		if s.conn == nil {
-			conn, err := (&net.Dialer{Timeout: time.Second}).DialContext(s.ctx, "tcp", s.addr)
+		s.mu.Lock()
+		addr, gen, conn, w, redirected := s.addr, s.gen, s.conn, s.w, s.redirected
+		s.mu.Unlock()
+		if conn == nil {
+			nc, err := (&net.Dialer{Timeout: time.Second}).DialContext(s.ctx, "tcp", addr)
 			if err != nil {
 				if s.ctx.Err() != nil {
 					return ErrStopped
@@ -73,20 +101,39 @@ func (s *StreamOut) Consume(r *record.Record) error {
 				select {
 				case <-s.ctx.Done():
 					return ErrStopped
+				case <-redirected:
+					// Target moved while we were backing off: retry the
+					// new address immediately.
+					backoff = s.minBackoff
 				case <-time.After(backoff):
-				}
-				if backoff *= 2; backoff > s.maxBackoff {
-					backoff = s.maxBackoff
+					if backoff *= 2; backoff > s.maxBackoff {
+						backoff = s.maxBackoff
+					}
 				}
 				continue
 			}
-			s.conn = conn
-			s.w = record.NewWriter(conn)
+			s.mu.Lock()
+			if s.gen != gen || s.conn != nil {
+				// Redirected while dialing: the connection targets the old
+				// address, so discard it and start over.
+				s.mu.Unlock()
+				_ = nc.Close()
+				continue
+			}
+			s.conn = nc
+			s.w = record.NewWriter(nc)
+			s.mu.Unlock()
+			continue
 		}
-		if err := s.w.Write(r); err != nil {
-			// Connection broke mid-write: drop it and retry on a fresh
-			// dial. The reader side repairs scope damage.
-			s.dropConnLocked()
+		if err := w.Write(r); err != nil {
+			// Connection broke mid-write (or Redirect closed it): drop it
+			// and retry on a fresh dial. The reader side repairs scope
+			// damage.
+			s.mu.Lock()
+			if s.conn == conn {
+				s.dropConnLocked()
+			}
+			s.mu.Unlock()
 			continue
 		}
 		return nil

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -288,5 +289,279 @@ func mustWrite(t *testing.T, w *record.Writer, r *record.Record) {
 	t.Helper()
 	if err := w.Write(r); err != nil {
 		t.Fatalf("write: %v", err)
+	}
+}
+
+// seqCollector records the Seq of every data record it sees.
+type seqCollector struct {
+	mu   sync.Mutex
+	seqs map[uint64]int
+}
+
+func newSeqCollector() *seqCollector { return &seqCollector{seqs: make(map[uint64]int)} }
+
+func (c *seqCollector) Emit(r *record.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.Kind == record.KindData {
+		c.seqs[r.Seq]++
+	}
+	return nil
+}
+
+func (c *seqCollector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seqs)
+}
+
+// TestStreamOutRedirectUnderConcurrentConsume bounces a streamout between
+// two receivers while a writer streams records as fast as it can. Every
+// record must arrive somewhere (delivery may duplicate a record the
+// redirect cut off mid-write, but must never lose one), redirects must
+// never block behind a stalled write, and both receivers must see
+// traffic.
+func TestStreamOutRedirectUnderConcurrentConsume(t *testing.T) {
+	servers := make([]*StreamIn, 2)
+	collectors := make([]*seqCollector, 2)
+	var wg sync.WaitGroup
+	for i := range servers {
+		in, err := NewStreamIn("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = in
+		collectors[i] = newSeqCollector()
+		wg.Add(1)
+		go func(in *StreamIn, col *seqCollector) {
+			defer wg.Done()
+			if err := in.Run(col); err != nil {
+				t.Errorf("streamin: %v", err)
+			}
+		}(in, collectors[i])
+	}
+
+	out := NewStreamOut(servers[0].Addr())
+	defer out.Close()
+
+	// The writer streams until the flip sequence below finishes, then
+	// reports how many records it sent.
+	stopWriting := make(chan struct{})
+	sent := make(chan int, 1)
+	writerErr := make(chan error, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stopWriting:
+				sent <- n
+				return
+			default:
+			}
+			r := record.NewData(record.SubtypeAudio)
+			r.Seq = uint64(n)
+			r.SetFloat64s([]float64{float64(n)})
+			if err := out.Consume(r); err != nil {
+				writerErr <- err
+				return
+			}
+			n++
+		}
+	}()
+
+	// Bounce the destination while records flow. Each redirect must land
+	// promptly even when Consume holds the write path, and each flip
+	// waits until traffic demonstrably traverses the new target.
+	deadline := time.Now().Add(20 * time.Second)
+	for flips := 0; flips < 8; flips++ {
+		newTarget := (flips + 1) % 2
+		before := collectors[newTarget].count()
+		start := time.Now()
+		out.Redirect(servers[newTarget].Addr())
+		if blockage := time.Since(start); blockage > 2*time.Second {
+			t.Fatalf("redirect %d blocked for %v behind an in-flight write", flips, blockage)
+		}
+		for collectors[newTarget].count() <= before {
+			if time.Now().After(deadline) {
+				t.Fatalf("flip %d: no records reached server %d after redirect", flips, newTarget)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stopWriting)
+	var total int
+	select {
+	case err := <-writerErr:
+		t.Fatalf("writer: %v", err)
+	case total = <-sent:
+	}
+
+	// Drain: every sequence number must be on one server or the other.
+	distinct := func() int {
+		seen := make(map[uint64]bool)
+		for _, c := range collectors {
+			c.mu.Lock()
+			for s := range c.seqs {
+				seen[s] = true
+			}
+			c.mu.Unlock()
+		}
+		return len(seen)
+	}
+	for distinct() < total && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := distinct(); got != total {
+		t.Fatalf("lost records across redirects: %d distinct of %d sent", got, total)
+	}
+	for i, c := range collectors {
+		if c.count() == 0 {
+			t.Errorf("server %d saw no records despite redirects through it", i)
+		}
+	}
+	for _, in := range servers {
+		in.Close()
+	}
+	wg.Wait()
+}
+
+// TestStreamOutRedirectUnblocksDeadDial points a streamout at a dead
+// address, starts a write (which spins redialling), then redirects to a
+// live receiver: the blocked write must follow the redirect and deliver.
+func TestStreamOutRedirectUnblocksDeadDial(t *testing.T) {
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.MaxConns = 1
+	col := newSeqCollector()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := in.Run(col); err != nil {
+			t.Errorf("streamin: %v", err)
+		}
+	}()
+
+	// Reserve an address with no listener: dials fail until redirect.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	out := NewStreamOut(deadAddr)
+	defer out.Close()
+	wrote := make(chan error, 1)
+	go func() {
+		r := record.NewData(record.SubtypeAudio)
+		r.Seq = 7
+		r.SetFloat64s([]float64{7})
+		wrote <- out.Consume(r)
+	}()
+	// Give the writer time to enter its redial loop, then heal it.
+	time.Sleep(50 * time.Millisecond)
+	out.Redirect(in.Addr())
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("consume after redirect: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write never completed after redirect away from dead address")
+	}
+	out.Close()
+	<-done
+	if col.count() != 1 {
+		t.Fatalf("record not delivered after redirect: %d", col.count())
+	}
+}
+
+// TestStreamOutRedirectSameAddrKeepsConn ensures re-announcing the
+// current destination does not sever a healthy connection: a control
+// plane may re-send an unchanged entry address after a watch reconnect.
+func TestStreamOutRedirectSameAddrKeepsConn(t *testing.T) {
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := newSeqCollector()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := in.Run(col); err != nil {
+			t.Errorf("streamin: %v", err)
+		}
+	}()
+
+	out := NewStreamOut(in.Addr())
+	defer out.Close()
+	send := func(seq uint64) {
+		t.Helper()
+		r := record.NewData(record.SubtypeAudio)
+		r.Seq = seq
+		r.SetFloat64s([]float64{1})
+		if err := out.Consume(r); err != nil {
+			t.Fatalf("consume: %v", err)
+		}
+	}
+	send(0)
+	out.Redirect(in.Addr()) // no-op: same destination
+	send(1)
+	out.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for col.count() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	in.Close()
+	<-done
+	if got := in.Connections(); got != 1 {
+		t.Errorf("Connections = %d, want 1: same-address redirect must not reconnect", got)
+	}
+	if col.count() != 2 {
+		t.Errorf("records = %d, want 2", col.count())
+	}
+}
+
+// TestNodeStopWithDeadDownstream stops a hosted segment whose streamout
+// is wedged redialling an unreachable downstream; Stop must close the
+// sink side and return instead of hanging on the pipeline unwind.
+func TestNodeStopWithDeadDownstream(t *testing.T) {
+	// Reserve an address with no listener.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	reg := NewRegistry()
+	reg.Register("ident", func() []Operator { return nil })
+	node := NewNode("n", reg)
+	addr, err := node.Host("seg", "ident", "127.0.0.1:0", deadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push a record in so the segment's sink goroutine enters the
+	// redial loop against the dead downstream.
+	feeder := NewStreamOut(addr)
+	r := record.NewData(record.SubtypeAudio)
+	r.SetFloat64s([]float64{1})
+	if err := feeder.Consume(r); err != nil {
+		t.Fatal(err)
+	}
+	defer feeder.Close()
+	time.Sleep(100 * time.Millisecond) // let the record reach the wedged sink
+
+	stopped := make(chan error, 1)
+	go func() { stopped <- node.Stop("seg") }()
+	select {
+	case err := <-stopped:
+		if err != nil && !errors.Is(err, ErrStopped) {
+			t.Fatalf("stop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Node.Stop hung on a segment with an unreachable downstream")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -160,6 +161,67 @@ func (n *Node) Segment(segName string) (*Segment, error) {
 	return h.seg, nil
 }
 
+// SegmentStats is a point-in-time snapshot of one hosted segment's
+// counters, reported by node agents in control-plane heartbeats.
+type SegmentStats struct {
+	Name      string // segment instance name
+	Addr      string // bound streamin address upstream dials
+	Processed uint64 // records consumed by the operator chain
+	Emitted   uint64 // records produced by the operator chain
+	Conns     uint64 // upstream connections served
+	BadCloses uint64 // BadCloseScope repairs synthesized on ingest
+	// Failed reports that the segment's pipeline exited on its own — an
+	// operator error, not a Stop — and the instance is no longer
+	// processing; Err carries the cause. A control plane treats this as
+	// the segment needing re-placement even though the node is healthy.
+	Failed bool
+	Err    string
+}
+
+// Stats snapshots the counters of every hosted segment, sorted by name.
+func (n *Node) Stats() []SegmentStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]SegmentStats, 0, len(n.hosted))
+	for name, h := range n.hosted {
+		s := SegmentStats{
+			Name:      name,
+			Addr:      h.in.Addr(),
+			Processed: h.seg.Processed(),
+			Emitted:   h.seg.Emitted(),
+			Conns:     h.in.Connections(),
+			BadCloses: h.in.BadCloses(),
+		}
+		select {
+		case <-h.done:
+			// Still in the hosted map but its pipeline has exited: the
+			// segment died rather than being stopped.
+			s.Failed = true
+			if h.err != nil {
+				s.Err = h.err.Error()
+			}
+		default:
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Redirect switches the downstream address a hosted segment forwards to.
+// The control plane uses it to splice an upstream segment onto a re-placed
+// successor without restarting the upstream instance.
+func (n *Node) Redirect(segName, downstreamAddr string) error {
+	n.mu.Lock()
+	h, ok := n.hosted[segName]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
+	}
+	h.out.Redirect(downstreamAddr)
+	return nil
+}
+
 // Stop gracefully stops a hosted segment: its listener closes, the
 // in-flight connection is cut (downstream repairs any open scopes), and
 // the segment's resources are released. It blocks until the segment has
@@ -176,6 +238,10 @@ func (n *Node) Stop(segName string) error {
 	}
 	_ = h.in.Close()
 	h.cancel()
+	// Close the streamout too: a sink goroutine stuck redialling an
+	// unreachable downstream only watches the StreamOut's own context, so
+	// without this the pipeline never unwinds and Stop hangs.
+	_ = h.out.Close()
 	<-h.done
 	return h.err
 }

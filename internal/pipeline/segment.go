@@ -232,6 +232,16 @@ func (p *Pipeline) Run(parent context.Context) error {
 		})
 		fail(p.source.Run(emit))
 	}()
+	// A source that blocks outside Emit (e.g. a streamin waiting in
+	// Accept) never observes the shutdown a failed stage triggers via
+	// ctx; close it so the source stage can unwind. The deferred cancel
+	// also fires this at Run's return, when the source is spent anyway.
+	if c, ok := p.source.(interface{ Close() error }); ok {
+		go func() {
+			<-ctx.Done()
+			_ = c.Close()
+		}()
+	}
 
 	// Segment stages.
 	for i, seg := range p.segments {

@@ -1,0 +1,217 @@
+package river
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// Agent is the node-side half of the control plane. It registers with a
+// coordinator, heartbeats the counters of the segments it hosts, and
+// executes assign/redirect/stop commands by driving a pipeline.Node whose
+// segments are instantiated from the application's registry.
+type Agent struct {
+	name      string
+	coordAddr string
+	node      *pipeline.Node
+
+	// ListenHost is the interface hosted segments listen on; the bound
+	// host:port is advertised to the coordinator, so it must be an
+	// address upstream peers can dial (default "127.0.0.1").
+	ListenHost string
+	// Heartbeat is the beat interval used until the coordinator's
+	// register ack overrides it (default 250ms).
+	Heartbeat time.Duration
+	// Logf, when set, receives agent event logs.
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	types map[string]string // segment instance -> registry type
+}
+
+// NewAgent returns an agent named name that will serve coordinator
+// coordAddr, instantiating segments from reg.
+func NewAgent(name, coordAddr string, reg *pipeline.Registry) *Agent {
+	return &Agent{
+		name:       name,
+		coordAddr:  coordAddr,
+		node:       pipeline.NewNode(name, reg),
+		ListenHost: "127.0.0.1",
+		Heartbeat:  250 * time.Millisecond,
+		types:      make(map[string]string),
+	}
+}
+
+// Name returns the agent's registered name.
+func (a *Agent) Name() string { return a.name }
+
+// Node exposes the underlying segment host for inspection.
+func (a *Agent) Node() *pipeline.Node { return a.node }
+
+// Run connects to the coordinator and serves its commands until ctx is
+// cancelled or the control connection drops. All hosted segments are
+// stopped on the way out, so cancelling ctx kills the node's share of the
+// data plane too — this is what "node death" means in tests and demos.
+func (a *Agent) Run(ctx context.Context) error {
+	conn, err := (&net.Dialer{Timeout: 5 * time.Second}).DialContext(ctx, "tcp", a.coordAddr)
+	if err != nil {
+		return fmt.Errorf("river: agent %s: dial coordinator: %w", a.name, err)
+	}
+	w := newWire(conn)
+	// Teardown order (LIFO): close the wire so blocked sends/reads fail,
+	// signal stop so helper goroutines exit, wait for them, then stop the
+	// hosted segments.
+	defer func() { _ = a.node.StopAll() }()
+	var hb sync.WaitGroup
+	defer hb.Wait()
+	stop := make(chan struct{})
+	defer close(stop)
+	defer func() { _ = w.close() }()
+	// Unblock the read loop when ctx is cancelled.
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = w.close()
+		case <-stop:
+		}
+	}()
+
+	if err := w.send(&Message{Type: TypeRegister, Node: a.name}); err != nil {
+		return err
+	}
+	intervalCh := make(chan time.Duration, 1)
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		a.heartbeatLoop(ctx, w, intervalCh, stop)
+	}()
+
+	for {
+		msg, err := w.recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("river: agent %s: control connection lost: %w", a.name, err)
+		}
+		switch msg.Type {
+		case TypeAck:
+			// The register ack; anything else unsolicited is ignored.
+			if msg.Err != "" {
+				return fmt.Errorf("river: agent %s: register rejected: %s", a.name, msg.Err)
+			}
+			if msg.HeartbeatMS > 0 {
+				select {
+				case intervalCh <- time.Duration(msg.HeartbeatMS) * time.Millisecond:
+				default:
+				}
+			}
+		case TypeAssign:
+			a.handleAssign(w, msg)
+		case TypeRedirect:
+			a.reply(w, msg.ID, a.node.Redirect(msg.Seg, msg.Downstream), "")
+			a.logf("segment %s redirected to %s", msg.Seg, msg.Downstream)
+		case TypeStop:
+			err := a.stopSegment(msg.Seg)
+			a.reply(w, msg.ID, err, "")
+			if err == nil {
+				a.logf("segment %s stopped", msg.Seg)
+			}
+		}
+	}
+}
+
+// handleAssign hosts (or re-hosts) a segment and acks with the bound
+// listen address the upstream neighbor should dial.
+func (a *Agent) handleAssign(w *wire, msg *Message) {
+	// A re-assign of a name we already host replaces the instance, so a
+	// coordinator retrying after a lost ack converges instead of erroring.
+	a.mu.Lock()
+	_, exists := a.types[msg.Seg]
+	a.mu.Unlock()
+	if exists {
+		_ = a.stopSegment(msg.Seg)
+	}
+	addr, err := a.node.Host(msg.Seg, msg.SegType, net.JoinHostPort(a.ListenHost, "0"), msg.Downstream)
+	if err != nil {
+		a.reply(w, msg.ID, err, "")
+		return
+	}
+	a.mu.Lock()
+	a.types[msg.Seg] = msg.SegType
+	a.mu.Unlock()
+	a.reply(w, msg.ID, nil, addr)
+	a.logf("hosting %s (%s) at %s -> %s", msg.Seg, msg.SegType, addr, msg.Downstream)
+}
+
+func (a *Agent) stopSegment(segName string) error {
+	a.mu.Lock()
+	delete(a.types, segName)
+	a.mu.Unlock()
+	return a.node.Stop(segName)
+}
+
+func (a *Agent) reply(w *wire, id uint64, err error, addr string) {
+	m := &Message{Type: TypeAck, ID: id, Addr: addr}
+	if err != nil {
+		m.Err = err.Error()
+	}
+	_ = w.send(m)
+}
+
+// heartbeatLoop beats segment counters to the coordinator until the
+// session ends; the interval follows the coordinator's register ack.
+func (a *Agent) heartbeatLoop(ctx context.Context, w *wire, intervalCh <-chan time.Duration, stop <-chan struct{}) {
+	interval := a.Heartbeat
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stop:
+			return
+		case d := <-intervalCh:
+			if d > 0 && d != interval {
+				interval = d
+				t.Reset(d)
+			}
+		case <-t.C:
+			if err := w.send(&Message{Type: TypeHeartbeat, Node: a.name, Segments: a.segmentStats()}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// segmentStats snapshots the hosted segments' counters for a heartbeat.
+func (a *Agent) segmentStats() []SegmentStatus {
+	stats := a.node.Stats()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SegmentStatus, len(stats))
+	for i, s := range stats {
+		out[i] = SegmentStatus{
+			Name:      s.Name,
+			Type:      a.types[s.Name],
+			Addr:      s.Addr,
+			Processed: s.Processed,
+			Emitted:   s.Emitted,
+			Conns:     s.Conns,
+			BadCloses: s.BadCloses,
+			Failed:    s.Failed,
+			Err:       s.Err,
+		}
+	}
+	return out
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf("agent %s: "+format, append([]any{a.name}, args...)...)
+	}
+}

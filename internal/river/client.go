@@ -1,0 +1,76 @@
+package river
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// FetchStatus opens a short client session against a coordinator and
+// returns its cluster snapshot.
+func FetchStatus(coordAddr string, timeout time.Duration) (*ClusterStatus, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", coordAddr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("river: status: dial %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	w := newWire(conn)
+	if err := w.send(&Message{Type: TypeStatus}); err != nil {
+		return nil, err
+	}
+	reply, err := w.recv()
+	if err != nil {
+		return nil, fmt.Errorf("river: status: %w", err)
+	}
+	if reply.Err != "" {
+		return nil, errors.New(reply.Err)
+	}
+	if reply.Status == nil {
+		return nil, errors.New("river: status reply without snapshot")
+	}
+	return reply.Status, nil
+}
+
+// WatchEntry subscribes to a coordinator's pipeline entry address and
+// invokes fn for the current address and every subsequent change, until
+// ctx is cancelled (returns nil) or the connection drops (returns the
+// error). A source uses this to point — and keep pointing — its streamout
+// at the pipeline's first segment as the control plane moves it.
+func WatchEntry(ctx context.Context, coordAddr string, fn func(addr string)) error {
+	conn, err := (&net.Dialer{Timeout: 5 * time.Second}).DialContext(ctx, "tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("river: watch: dial %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
+	w := newWire(conn)
+	if err := w.send(&Message{Type: TypeWatch}); err != nil {
+		return err
+	}
+	for {
+		msg, err := w.recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("river: watch: %w", err)
+		}
+		if msg.Type == TypeEntry && msg.Addr != "" {
+			fn(msg.Addr)
+		}
+	}
+}

@@ -1,0 +1,791 @@
+package river
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SegmentSpec names one segment of the desired pipeline and the registry
+// type agents instantiate it from.
+type SegmentSpec struct {
+	Name string
+	Type string
+}
+
+// PipelineSpec is the desired topology the coordinator maintains: an
+// ordered chain of segments (upstream first) that ultimately forwards to a
+// fixed sink address outside the control plane's care.
+type PipelineSpec struct {
+	Segments []SegmentSpec
+	SinkAddr string
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// ListenAddr is the control listen address ("127.0.0.1:0" default).
+	ListenAddr string
+	// Spec is the pipeline to maintain; at least one segment and a sink
+	// address are required.
+	Spec PipelineSpec
+	// HeartbeatInterval is the cadence agents are told to beat at
+	// (default 250ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a node dead after this much heartbeat
+	// silence (default 4x HeartbeatInterval).
+	HeartbeatTimeout time.Duration
+	// RPCTimeout bounds an assign/redirect round trip (default 5s).
+	RPCTimeout time.Duration
+	// Placer chooses hosts for segments (default LeastLoaded).
+	Placer Placer
+	// MinNodes delays the initial placement until at least this many
+	// nodes have registered (default 1), so a cold-starting cluster does
+	// not pile the whole pipeline onto whichever node connects first. It
+	// gates only bootstrap: once the cluster has reached MinNodes,
+	// failover re-placement proceeds with however many nodes survive.
+	MinNodes int
+	// OnEntryChange, when set, is invoked after the pipeline's entry
+	// address changes — the hook an in-process source uses to Redirect
+	// its streamout. Called from coordinator goroutines; keep it brief.
+	OnEntryChange func(addr string)
+	// Logf, when set, receives control-plane event logs.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 5 * time.Second
+	}
+	if c.Placer == nil {
+		c.Placer = LeastLoaded{}
+	}
+	if c.MinNodes < 1 {
+		c.MinNodes = 1
+	}
+	return c
+}
+
+// member is one registered node agent.
+type member struct {
+	name     string
+	w        *wire
+	lastBeat time.Time
+	stats    []SegmentStatus
+	// pending maps request IDs to reply channels; nil once the member is
+	// dead (its channels are closed to fail in-flight RPCs).
+	pending map[uint64]chan *Message
+	gone    bool
+}
+
+// placement records where one spec segment currently runs; node and addr
+// are empty while it awaits (re-)placement.
+type placement struct {
+	spec SegmentSpec
+	node string
+	addr string
+}
+
+// Coordinator owns the desired pipeline topology and drives registered
+// node agents to realize it. It is started by NewCoordinator and stopped
+// by Close.
+type Coordinator struct {
+	cfg    Config
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	kick   chan struct{}
+	closed sync.Once
+
+	mu           sync.Mutex
+	nodes        map[string]*member
+	placements   map[string]*placement
+	entryAddr    string
+	watchers     map[*wire]struct{}
+	conns        map[net.Conn]struct{}
+	nextID       uint64
+	bootstrapped bool // cluster reached MinNodes at least once
+	// pendingStops queues best-effort cleanup of dead segment instances.
+	// The reconcile loop drains it before placing, so a stop can never
+	// race a re-assign of the same segment name and kill the fresh
+	// replacement.
+	pendingStops []stopReq
+	// pendingResync names segments whose upstream neighbor still streams
+	// to a stale address because a redirect RPC failed; the reconcile
+	// loop retries until the splice lands (or the topology moves on).
+	pendingResync map[string]bool
+}
+
+// stopReq names a segment instance to stop on a node.
+type stopReq struct {
+	node string
+	seg  string
+}
+
+// NewCoordinator validates cfg, binds the control listener and starts the
+// coordinator's accept and reconcile loops.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Spec.Segments) == 0 {
+		return nil, errors.New("river: coordinator needs at least one segment in the spec")
+	}
+	if cfg.Spec.SinkAddr == "" {
+		return nil, errors.New("river: coordinator needs a sink address")
+	}
+	seen := make(map[string]bool, len(cfg.Spec.Segments))
+	for _, sp := range cfg.Spec.Segments {
+		if sp.Name == "" || sp.Type == "" {
+			return nil, fmt.Errorf("river: segment spec %+v needs a name and a type", sp)
+		}
+		if seen[sp.Name] {
+			return nil, fmt.Errorf("river: duplicate segment name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("river: coordinator listen %s: %w", cfg.ListenAddr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:           cfg,
+		ln:            ln,
+		ctx:           ctx,
+		cancel:        cancel,
+		kick:          make(chan struct{}, 1),
+		nodes:         make(map[string]*member),
+		placements:    make(map[string]*placement),
+		watchers:      make(map[*wire]struct{}),
+		conns:         make(map[net.Conn]struct{}),
+		pendingResync: make(map[string]bool),
+	}
+	for _, sp := range cfg.Spec.Segments {
+		c.placements[sp.Name] = &placement{spec: sp}
+	}
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.reconcileLoop()
+	return c, nil
+}
+
+// Addr returns the bound control listen address agents and clients dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// EntryAddr returns the address of the pipeline's first segment, or ""
+// while it is unplaced. Sources dial (and follow) this address.
+func (c *Coordinator) EntryAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entryAddr
+}
+
+// Close stops the coordinator: the listener and every control connection
+// close and the background loops drain. Hosted segments on agents are left
+// running (agents own their lifecycle).
+func (c *Coordinator) Close() error {
+	c.closed.Do(func() {
+		c.cancel()
+		_ = c.ln.Close()
+		c.mu.Lock()
+		for conn := range c.conns {
+			_ = conn.Close()
+		}
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+	return nil
+}
+
+// WaitPlaced blocks until every segment of the spec is placed (and the
+// entry address is known) or ctx expires.
+func (c *Coordinator) WaitPlaced(ctx context.Context) error {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if c.allPlaced() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("river: waiting for placement: %w", ctx.Err())
+		case <-c.ctx.Done():
+			return errors.New("river: coordinator closed")
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Coordinator) allPlaced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entryAddr == "" {
+		return false
+	}
+	for _, p := range c.placements {
+		if p.node == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// Status snapshots the cluster: registered nodes, their reported segment
+// counters, and current placements in topology order.
+func (c *Coordinator) Status() *ClusterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &ClusterStatus{
+		EntryAddr: c.entryAddr,
+		SinkAddr:  c.cfg.Spec.SinkAddr,
+	}
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	now := time.Now()
+	for _, name := range names {
+		m := c.nodes[name]
+		st.Nodes = append(st.Nodes, NodeStatus{
+			Name:       name,
+			LastBeatMS: now.Sub(m.lastBeat).Milliseconds(),
+			Segments:   append([]SegmentStatus(nil), m.stats...),
+		})
+	}
+	for _, sp := range c.cfg.Spec.Segments {
+		p := c.placements[sp.Name]
+		st.Placements = append(st.Placements, PlacementStatus{
+			Seg:    sp.Name,
+			Type:   sp.Type,
+			Node:   p.node,
+			Addr:   p.addr,
+			Placed: p.node != "",
+		})
+	}
+	return st
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("coordinator: "+format, args...)
+	}
+}
+
+func (c *Coordinator) kickReconcile() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// acceptLoop serves control connections until Close.
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		// Close may have swept c.conns between Accept and the insert
+		// above; re-checking after the insert guarantees one side closes
+		// this connection (cancel happens before the sweep).
+		if c.ctx.Err() != nil {
+			c.mu.Lock()
+			delete(c.conns, conn)
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleConn(conn)
+			c.mu.Lock()
+			delete(c.conns, conn)
+			c.mu.Unlock()
+			_ = conn.Close()
+		}()
+	}
+}
+
+// handleConn dispatches one control connection by its first message:
+// register opens a long-lived node session, watch a long-lived entry
+// subscription, status a one-shot query.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	w := newWire(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	first, err := w.recv()
+	if err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	switch first.Type {
+	case TypeRegister:
+		c.serveNode(w, first)
+	case TypeStatus:
+		_ = w.send(&Message{Type: TypeAck, ID: first.ID, Status: c.Status()})
+	case TypeWatch:
+		c.serveWatcher(w)
+	default:
+		_ = w.send(&Message{Type: TypeAck, ID: first.ID,
+			Err: fmt.Sprintf("unexpected first message %q", first.Type)})
+	}
+}
+
+// serveNode runs one agent's control session: it acks the registration,
+// then folds heartbeats into the member state and routes request acks to
+// their waiters until the connection drops.
+func (c *Coordinator) serveNode(w *wire, reg *Message) {
+	name := reg.Node
+	if name == "" {
+		_ = w.send(&Message{Type: TypeAck, Err: "register without node name"})
+		return
+	}
+	m := &member{
+		name:     name,
+		w:        w,
+		lastBeat: time.Now(),
+		pending:  make(map[uint64]chan *Message),
+	}
+	c.mu.Lock()
+	if _, dup := c.nodes[name]; dup {
+		c.mu.Unlock()
+		_ = w.send(&Message{Type: TypeAck, Err: fmt.Sprintf("node name %q already registered", name)})
+		return
+	}
+	c.nodes[name] = m
+	c.mu.Unlock()
+	if err := w.send(&Message{Type: TypeAck, HeartbeatMS: c.cfg.HeartbeatInterval.Milliseconds()}); err != nil {
+		c.markDead(name, "register ack failed")
+		return
+	}
+	c.logf("node %s registered", name)
+	c.kickReconcile()
+	for {
+		msg, err := w.recv()
+		if err != nil {
+			c.markDead(name, "control connection lost")
+			return
+		}
+		switch msg.Type {
+		case TypeHeartbeat:
+			c.mu.Lock()
+			m.lastBeat = time.Now()
+			m.stats = msg.Segments
+			// A segment can die while its node stays healthy (operator
+			// error killed the hosted pipeline). The heartbeat reports it
+			// as failed; free its placement so reconcile re-places it. The
+			// address match skips stale reports about an instance that has
+			// already been replaced.
+			var failed []string
+			for _, s := range msg.Segments {
+				if !s.Failed {
+					continue
+				}
+				if p := c.placements[s.Name]; p != nil && p.node == name && p.addr == s.Addr {
+					p.node, p.addr = "", ""
+					c.pendingStops = append(c.pendingStops, stopReq{node: name, seg: s.Name})
+					failed = append(failed, s.Name)
+				}
+			}
+			c.mu.Unlock()
+			if len(failed) > 0 {
+				c.logf("node %s reports dead segments %v; re-placing", name, failed)
+				c.kickReconcile()
+			}
+		case TypeAck:
+			c.mu.Lock()
+			var ch chan *Message
+			if m.pending != nil {
+				ch = m.pending[msg.ID]
+				delete(m.pending, msg.ID)
+			}
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- msg
+			}
+		}
+	}
+}
+
+// serveWatcher streams entry-address updates to one subscriber until its
+// connection drops.
+func (c *Coordinator) serveWatcher(w *wire) {
+	c.mu.Lock()
+	c.watchers[w] = struct{}{}
+	c.mu.Unlock()
+	// Send the current address, re-reading until it is stable: a setEntry
+	// broadcast racing this initial send could otherwise slip in first and
+	// leave the stale address as the watcher's last word.
+	lastSent := ""
+	for {
+		c.mu.Lock()
+		cur := c.entryAddr
+		c.mu.Unlock()
+		if cur == lastSent {
+			break
+		}
+		if err := w.send(&Message{Type: TypeEntry, Addr: cur}); err != nil {
+			c.dropWatcher(w)
+			return
+		}
+		lastSent = cur
+	}
+	for {
+		if _, err := w.recv(); err != nil {
+			c.dropWatcher(w)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) dropWatcher(w *wire) {
+	c.mu.Lock()
+	delete(c.watchers, w)
+	c.mu.Unlock()
+}
+
+// markDead removes a node and frees its segments for re-placement;
+// in-flight RPCs against it fail immediately.
+func (c *Coordinator) markDead(name, reason string) {
+	c.mu.Lock()
+	m := c.nodes[name]
+	if m == nil || m.gone {
+		c.mu.Unlock()
+		return
+	}
+	m.gone = true
+	delete(c.nodes, name)
+	for _, ch := range m.pending {
+		close(ch)
+	}
+	m.pending = nil
+	var lost []string
+	for _, sp := range c.cfg.Spec.Segments {
+		if p := c.placements[sp.Name]; p.node == name {
+			p.node, p.addr = "", ""
+			lost = append(lost, sp.Name)
+		}
+	}
+	c.mu.Unlock()
+	_ = m.w.close()
+	if len(lost) > 0 {
+		c.logf("node %s dead (%s); re-placing %v", name, reason, lost)
+	} else {
+		c.logf("node %s dead (%s)", name, reason)
+	}
+	c.kickReconcile()
+}
+
+// reconcileLoop drives the cluster toward the spec: it expires silent
+// nodes and places unplaced segments, waking on registration/death kicks
+// and on a timer that paces heartbeat expiry.
+func (c *Coordinator) reconcileLoop() {
+	defer c.wg.Done()
+	period := c.cfg.HeartbeatTimeout / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-c.kick:
+		case <-tick.C:
+		}
+		c.expireDead()
+		c.reconcile()
+	}
+}
+
+// expireDead declares nodes dead after HeartbeatTimeout of silence.
+func (c *Coordinator) expireDead() {
+	cutoff := time.Now().Add(-c.cfg.HeartbeatTimeout)
+	c.mu.Lock()
+	var stale []string
+	for name, m := range c.nodes {
+		if m.lastBeat.Before(cutoff) {
+			stale = append(stale, name)
+		}
+	}
+	c.mu.Unlock()
+	for _, name := range stale {
+		c.markDead(name, "missed heartbeats")
+	}
+}
+
+// reconcile places every unplaced segment whose downstream address is
+// known, walking the chain sink-to-source so a fresh placement always has
+// a live address to forward to. After placing a segment it splices the
+// stream back together: the upstream neighbor (if already placed) is
+// redirected at the new address, and a new first segment updates the
+// pipeline entry address.
+func (c *Coordinator) reconcile() {
+	// Clean up dead segment instances first. Running the stops on this
+	// goroutine, before any placement, guarantees a queued stop executes
+	// before a re-assign that reuses the segment name on the same node.
+	c.mu.Lock()
+	stops := c.pendingStops
+	c.pendingStops = nil
+	c.mu.Unlock()
+	for _, s := range stops {
+		// Best effort: the ack may carry the dead segment's processing
+		// error (already surfaced via the heartbeat), and the node may
+		// have died in the meantime.
+		if _, err := c.rpc(s.node, &Message{Type: TypeStop, Seg: s.seg}); err != nil {
+			c.logf("cleanup of dead segment %s on %s: %v", s.seg, s.node, err)
+		}
+	}
+	c.resyncUpstreams()
+
+	specs := c.cfg.Spec.Segments
+	for i := len(specs) - 1; i >= 0; i-- {
+		if c.ctx.Err() != nil {
+			return
+		}
+		sp := specs[i]
+		c.mu.Lock()
+		p := c.placements[sp.Name]
+		placed := p.node != ""
+		down := c.cfg.Spec.SinkAddr
+		if i < len(specs)-1 {
+			down = c.placements[specs[i+1].Name].addr
+		}
+		c.mu.Unlock()
+		if placed || down == "" {
+			continue
+		}
+		node := c.pickNode()
+		if node == "" {
+			c.logf("segment %s waiting: no eligible nodes", sp.Name)
+			continue
+		}
+		addr, err := c.assign(node, sp, down)
+		if err != nil {
+			c.logf("assign %s to %s: %v", sp.Name, node, err)
+			continue
+		}
+		c.mu.Lock()
+		if _, alive := c.nodes[node]; !alive {
+			// The node died between the ack and here; leave the segment
+			// unplaced for the next pass.
+			c.mu.Unlock()
+			continue
+		}
+		p.node, p.addr = node, addr
+		var upNode, upSeg string
+		if i > 0 {
+			up := c.placements[specs[i-1].Name]
+			upNode, upSeg = up.node, specs[i-1].Name
+		}
+		c.mu.Unlock()
+		c.logf("segment %s placed on %s at %s", sp.Name, node, addr)
+		if i == 0 {
+			c.setEntry(addr)
+		} else if upNode != "" {
+			if err := c.redirect(upNode, upSeg, addr); err != nil {
+				// The upstream neighbor still streams to the dead old
+				// address; queue a retry or the stall becomes permanent
+				// while Status reports a healthy pipeline.
+				c.logf("redirect %s on %s: %v (will retry)", upSeg, upNode, err)
+				c.mu.Lock()
+				c.pendingResync[sp.Name] = true
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// resyncUpstreams retries failed upstream redirects: for every queued
+// segment, the current placement of its upstream neighbor is re-pointed
+// at the segment's current address. Entries go stale when either side is
+// re-placed meanwhile; the placement flow covers those, so they are
+// dropped here.
+func (c *Coordinator) resyncUpstreams() {
+	c.mu.Lock()
+	if len(c.pendingResync) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	specs := c.cfg.Spec.Segments
+	type resync struct {
+		seg, addr, upNode, upSeg string
+	}
+	var todo []resync
+	for name := range c.pendingResync {
+		idx := -1
+		for i, sp := range specs {
+			if sp.Name == name {
+				idx = i
+				break
+			}
+		}
+		if idx <= 0 {
+			delete(c.pendingResync, name)
+			continue
+		}
+		p, up := c.placements[name], c.placements[specs[idx-1].Name]
+		if p.node == "" || up.node == "" {
+			// One side is awaiting placement; the assign/redirect path
+			// will splice them when it lands.
+			delete(c.pendingResync, name)
+			continue
+		}
+		todo = append(todo, resync{seg: name, addr: p.addr, upNode: up.node, upSeg: specs[idx-1].Name})
+	}
+	c.mu.Unlock()
+	for _, r := range todo {
+		if err := c.redirect(r.upNode, r.upSeg, r.addr); err != nil {
+			c.logf("redirect retry %s on %s: %v (will retry)", r.upSeg, r.upNode, err)
+			continue
+		}
+		c.logf("upstream %s re-spliced to %s at %s", r.upSeg, r.seg, r.addr)
+		c.mu.Lock()
+		delete(c.pendingResync, r.seg)
+		c.mu.Unlock()
+	}
+}
+
+// pickNode chooses a live node via the placement policy, weighting by the
+// number of segments already placed on each. It returns "" until MinNodes
+// nodes have registered at least once (the bootstrap gate).
+func (c *Coordinator) pickNode() string {
+	c.mu.Lock()
+	if !c.bootstrapped {
+		if len(c.nodes) < c.cfg.MinNodes {
+			c.mu.Unlock()
+			return ""
+		}
+		c.bootstrapped = true
+	}
+	load := make(map[string]int, len(c.nodes))
+	for name := range c.nodes {
+		load[name] = 0
+	}
+	for _, p := range c.placements {
+		if p.node != "" {
+			load[p.node]++
+		}
+	}
+	cands := make([]NodeLoad, 0, len(load))
+	for name, n := range load {
+		cands = append(cands, NodeLoad{Name: name, Segments: n})
+	}
+	c.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Name < cands[j].Name })
+	return c.cfg.Placer.Pick(cands)
+}
+
+// assign RPCs an agent to host a segment and returns the bound address.
+func (c *Coordinator) assign(node string, sp SegmentSpec, downstream string) (string, error) {
+	reply, err := c.rpc(node, &Message{
+		Type:       TypeAssign,
+		Seg:        sp.Name,
+		SegType:    sp.Type,
+		Downstream: downstream,
+	})
+	if err != nil {
+		return "", err
+	}
+	if reply.Addr == "" {
+		return "", errors.New("assign ack without address")
+	}
+	return reply.Addr, nil
+}
+
+// redirect RPCs the agent hosting segName to repoint its streamout.
+func (c *Coordinator) redirect(node, segName, downstream string) error {
+	_, err := c.rpc(node, &Message{Type: TypeRedirect, Seg: segName, Downstream: downstream})
+	return err
+}
+
+// rpc sends a request to a node's control session and waits for the
+// matching ack. It fails fast when the node dies mid-flight.
+func (c *Coordinator) rpc(node string, msg *Message) (*Message, error) {
+	c.mu.Lock()
+	m := c.nodes[node]
+	if m == nil || m.pending == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("node %s not registered", node)
+	}
+	c.nextID++
+	id := c.nextID
+	msg.ID = id
+	ch := make(chan *Message, 1)
+	m.pending[id] = ch
+	c.mu.Unlock()
+
+	cleanup := func() {
+		c.mu.Lock()
+		if m.pending != nil {
+			delete(m.pending, id)
+		}
+		c.mu.Unlock()
+	}
+	if err := m.w.send(msg); err != nil {
+		cleanup()
+		return nil, err
+	}
+	timer := time.NewTimer(c.cfg.RPCTimeout)
+	defer timer.Stop()
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("node %s died during %s", node, msg.Type)
+		}
+		if reply.Err != "" {
+			return nil, errors.New(reply.Err)
+		}
+		return reply, nil
+	case <-timer.C:
+		cleanup()
+		return nil, fmt.Errorf("%s to node %s timed out", msg.Type, node)
+	case <-c.ctx.Done():
+		cleanup()
+		return nil, errors.New("coordinator closed")
+	}
+}
+
+// setEntry records a new pipeline entry address and notifies watchers and
+// the OnEntryChange hook.
+func (c *Coordinator) setEntry(addr string) {
+	c.mu.Lock()
+	if c.entryAddr == addr {
+		c.mu.Unlock()
+		return
+	}
+	c.entryAddr = addr
+	ws := make([]*wire, 0, len(c.watchers))
+	for w := range c.watchers {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	c.logf("pipeline entry now %s", addr)
+	for _, w := range ws {
+		if err := w.send(&Message{Type: TypeEntry, Addr: addr}); err != nil {
+			c.dropWatcher(w)
+			_ = w.close()
+		}
+	}
+	if c.cfg.OnEntryChange != nil {
+		c.cfg.OnEntryChange(addr)
+	}
+}

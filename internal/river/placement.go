@@ -1,0 +1,59 @@
+package river
+
+import "sort"
+
+// NodeLoad summarizes one live node for placement decisions.
+type NodeLoad struct {
+	// Name is the node's registered name.
+	Name string
+	// Segments is the number of pipeline segments currently placed there.
+	Segments int
+}
+
+// Placer chooses the node that should host a segment. Pick returns the
+// chosen node's name, or "" when no candidate is acceptable. Candidates
+// are all live registered nodes.
+type Placer interface {
+	Pick(cands []NodeLoad) string
+}
+
+// LeastLoaded places each segment on the node hosting the fewest
+// segments, breaking ties by name so placement is deterministic. It is
+// the coordinator's default policy.
+type LeastLoaded struct{}
+
+// Pick implements Placer.
+func (LeastLoaded) Pick(cands []NodeLoad) string {
+	if len(cands) == 0 {
+		return ""
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Segments < best.Segments || (c.Segments == best.Segments && c.Name < best.Name) {
+			best = c
+		}
+	}
+	return best.Name
+}
+
+// Spread places consecutive pipeline segments on distinct nodes where
+// possible (round-robin over sorted names), so one host failure cuts the
+// stream in at most one place.
+type Spread struct {
+	next int
+}
+
+// Pick implements Placer.
+func (s *Spread) Pick(cands []NodeLoad) string {
+	if len(cands) == 0 {
+		return ""
+	}
+	names := make([]string, len(cands))
+	for i, c := range cands {
+		names[i] = c.Name
+	}
+	sort.Strings(names)
+	name := names[s.next%len(names)]
+	s.next++
+	return name
+}

@@ -1,0 +1,183 @@
+// Package river implements the Dynamic River control plane: a coordinator
+// that owns the desired pipeline topology and node agents that host
+// pipeline segments on its behalf. Agents register with the coordinator
+// over a TCP control protocol and report segment counters in periodic
+// heartbeats; the coordinator places segments on agents, detects dead
+// nodes via missed heartbeats (or dropped control connections), re-places
+// their segments on survivors, and redirects the upstream neighbor so the
+// data stream heals — automating the dynamic recomposition the paper
+// demonstrates by hand.
+package river
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Control message types. Register, heartbeat and ack flow from agents to
+// the coordinator; assign, redirect and stop flow the other way. Status
+// and watch open short client sessions (the status CLI, a source following
+// the pipeline entry address).
+const (
+	// TypeRegister announces a node agent; Node carries its name. The
+	// coordinator replies with an ack whose HeartbeatMS tells the agent
+	// how often to beat.
+	TypeRegister = "register"
+	// TypeHeartbeat carries the agent's per-segment counters in Segments.
+	TypeHeartbeat = "heartbeat"
+	// TypeAssign instructs an agent to host segment Seg of type SegType
+	// forwarding to Downstream; the agent acks with the bound listen Addr.
+	TypeAssign = "assign"
+	// TypeRedirect instructs an agent to repoint hosted segment Seg's
+	// streamout at Downstream.
+	TypeRedirect = "redirect"
+	// TypeStop instructs an agent to stop hosting segment Seg.
+	TypeStop = "stop"
+	// TypeStatus requests a ClusterStatus snapshot (client session).
+	TypeStatus = "status"
+	// TypeWatch subscribes a client to pipeline entry-address updates.
+	TypeWatch = "watch"
+	// TypeEntry notifies a watcher that the entry address is now Addr.
+	TypeEntry = "entry"
+	// TypeAck answers a request; ID echoes the request's ID, Err carries
+	// a failure reason.
+	TypeAck = "ack"
+)
+
+// Message is the single frame type of the control protocol. Fields are
+// populated according to Type; unused fields are omitted on the wire.
+type Message struct {
+	Type string `json:"type"`
+	// ID matches a request to its ack; zero for unsolicited messages.
+	ID uint64 `json:"id,omitempty"`
+	// Node names the sending agent (register, heartbeat).
+	Node string `json:"node,omitempty"`
+	// Seg and SegType identify a segment instance and its registry type.
+	Seg     string `json:"seg,omitempty"`
+	SegType string `json:"seg_type,omitempty"`
+	// Downstream is the address a segment forwards to (assign, redirect).
+	Downstream string `json:"downstream,omitempty"`
+	// Addr carries a bound listen address (assign ack) or the pipeline
+	// entry address (entry).
+	Addr string `json:"addr,omitempty"`
+	// Err reports a request failure in an ack.
+	Err string `json:"err,omitempty"`
+	// HeartbeatMS is the coordinator-chosen heartbeat interval (register
+	// ack).
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+	// Segments carries per-segment counters (heartbeat).
+	Segments []SegmentStatus `json:"segments,omitempty"`
+	// Status carries the cluster snapshot (status ack).
+	Status *ClusterStatus `json:"status,omitempty"`
+}
+
+// SegmentStatus is one hosted segment's state as reported in heartbeats
+// and surfaced by the status API.
+type SegmentStatus struct {
+	Name      string `json:"name"`
+	Type      string `json:"type,omitempty"`
+	Addr      string `json:"addr,omitempty"`
+	Processed uint64 `json:"processed"`
+	Emitted   uint64 `json:"emitted"`
+	Conns     uint64 `json:"conns"`
+	BadCloses uint64 `json:"bad_closes"`
+	// Failed marks an instance whose pipeline exited on an operator
+	// error while its node stayed healthy; Err carries the cause. The
+	// coordinator re-places failed segments just like those on dead
+	// nodes.
+	Failed bool   `json:"failed,omitempty"`
+	Err    string `json:"seg_err,omitempty"`
+}
+
+// NodeStatus describes one registered agent in a ClusterStatus.
+type NodeStatus struct {
+	Name string `json:"name"`
+	// LastBeatMS is the age of the most recent heartbeat in milliseconds.
+	LastBeatMS int64           `json:"last_beat_ms"`
+	Segments   []SegmentStatus `json:"segments,omitempty"`
+}
+
+// PlacementStatus describes where one pipeline segment currently runs.
+type PlacementStatus struct {
+	Seg    string `json:"seg"`
+	Type   string `json:"type"`
+	Node   string `json:"node,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+	Placed bool   `json:"placed"`
+}
+
+// ClusterStatus is the coordinator's full view: topology, entry point,
+// registered nodes and segment placements.
+type ClusterStatus struct {
+	EntryAddr  string            `json:"entry_addr,omitempty"`
+	SinkAddr   string            `json:"sink_addr"`
+	Nodes      []NodeStatus      `json:"nodes"`
+	Placements []PlacementStatus `json:"placements"`
+}
+
+// maxFrame bounds a control frame; the largest legitimate message is a
+// status snapshot, far below this.
+const maxFrame = 1 << 20
+
+// wire frames Messages over a net.Conn as a big-endian uint32 length
+// followed by that many bytes of JSON. Sends are serialized internally so
+// a heartbeat loop and a request handler can share one connection; recv
+// must be called from a single goroutine.
+type wire struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	r    *bufio.Reader
+}
+
+func newWire(c net.Conn) *wire {
+	return &wire{conn: c, r: bufio.NewReaderSize(c, 32<<10)}
+}
+
+func (w *wire) send(m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("river: encode %s: %w", m.Type, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("river: %s frame of %d bytes exceeds limit", m.Type, len(body))
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if _, err := w.conn.Write(frame); err != nil {
+		return fmt.Errorf("river: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+func (w *wire) recv() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(w.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("river: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(w.r, body); err != nil {
+		return nil, fmt.Errorf("river: short frame: %w", err)
+	}
+	m := &Message{}
+	if err := json.Unmarshal(body, m); err != nil {
+		return nil, fmt.Errorf("river: decode frame: %w", err)
+	}
+	if m.Type == "" {
+		return nil, fmt.Errorf("river: frame missing type")
+	}
+	return m, nil
+}
+
+func (w *wire) close() error { return w.conn.Close() }
