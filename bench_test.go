@@ -14,7 +14,9 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"testing"
 
 	"repro/internal/core"
@@ -23,6 +25,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/meso"
 	"repro/internal/ops"
+	"repro/internal/pipeline"
+	"repro/internal/record"
 	"repro/internal/synth"
 	"repro/internal/timeseries"
 )
@@ -208,6 +212,111 @@ func BenchmarkDataReduction(b *testing.B) {
 		red = r.Reduction
 	}
 	b.ReportMetric(red*100, "reduction%")
+}
+
+// streamOutBench measures streamout transport throughput over real TCP:
+// records with 64-byte PCM payloads (32 samples, the station record
+// granularity scaled down) are pushed through a StreamOut framed by the
+// given policy into a decoding receiver. The receiver decodes every record
+// with the ordinary Reader, so the numbers include full wire framing on
+// both sides, and reports records/sec alongside ns/op.
+func streamOutBench(b *testing.B, policy record.BatchConfig) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			rd := record.NewReaderSize(conn, record.DefaultMaxBatchBytes)
+			for {
+				if _, err := rd.Read(); err != nil {
+					break
+				}
+			}
+			conn.Close()
+		}
+	}()
+
+	out := pipeline.NewStreamOutBatched(ln.Addr().String(), policy)
+	samples := make([]int16, 32) // 64-byte PCM payload
+	for i := range samples {
+		samples[i] = int16(i * 256)
+	}
+	r := record.NewData(record.SubtypeAudio)
+	r.SetPCM16(samples)
+	b.SetBytes(int64(record.WireSize(r)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Seq = uint64(i)
+		if err := out.Consume(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := out.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	out.Close()
+	ln.Close()
+	<-drained
+}
+
+// BenchmarkStreamOutThroughput contrasts the per-record baseline (one
+// network write and flush per record, the pre-batching behavior) against
+// batched framing on the streamout hot path. The batch variants are the
+// headline transport win: one syscall carries a whole batch.
+func BenchmarkStreamOutThroughput(b *testing.B) {
+	b.Run("per-record", func(b *testing.B) {
+		streamOutBench(b, record.PerRecordConfig())
+	})
+	b.Run("batch-64", func(b *testing.B) {
+		streamOutBench(b, record.DefaultBatchConfig())
+	})
+	b.Run("batch-256", func(b *testing.B) {
+		cfg := record.DefaultBatchConfig()
+		cfg.MaxRecords = 256
+		streamOutBench(b, cfg)
+	})
+}
+
+// BenchmarkBatchWriterFraming isolates the framing layer from TCP: encode
+// throughput into an in-memory sink at both policies.
+func BenchmarkBatchWriterFraming(b *testing.B) {
+	r := record.NewData(record.SubtypeAudio)
+	samples := make([]int16, 32)
+	r.SetPCM16(samples)
+	for _, tc := range []struct {
+		name   string
+		policy record.BatchConfig
+	}{
+		{"per-record", record.PerRecordConfig()},
+		{"batch-64", record.DefaultBatchConfig()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			bw := record.NewBatchWriter(io.Discard, tc.policy)
+			b.SetBytes(int64(record.WireSize(r)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bw.Write(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }
 
 // BenchmarkAblationSAXParams sweeps the SAX alphabet and anomaly window

@@ -78,12 +78,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dynriver station (-to HOST:PORT | -coord HOST:PORT) [-clips N] [-seed S] [-seconds SEC]
+  dynriver station (-to HOST:PORT | -coord HOST:PORT) [-clips N] [-seed S] [-seconds SEC] [-batch N]
   dynriver segment -type extract|spectral|full -listen ADDR -to HOST:PORT
   dynriver sink -listen ADDR [-conns N]
-  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-heartbeat D] [-timeout D]
-  dynriver node -name NAME -coord HOST:PORT [-host IP]
-  dynriver status -coord HOST:PORT`)
+  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-heartbeat D] [-timeout D] [-placer POLICY]
+  dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N]
+  dynriver status -coord HOST:PORT
+
+placer policies: least-loaded (default), spread, load-aware`)
 }
 
 // builtinRegistry exposes the acoustic pipeline's segment types to both
@@ -108,6 +110,18 @@ func builtinRegistry() *pipeline.Registry {
 	return reg
 }
 
+// flushPolicy maps a -batch flag value to a record framing policy: <=1
+// selects per-record writes, anything larger the batched hot path with
+// that record bound.
+func flushPolicy(batch int) record.BatchConfig {
+	if batch <= 1 {
+		return record.PerRecordConfig()
+	}
+	cfg := record.DefaultBatchConfig()
+	cfg.MaxRecords = batch
+	return cfg
+}
+
 func runStation(args []string) error {
 	fs := flag.NewFlagSet("station", flag.ExitOnError)
 	to := fs.String("to", "", "downstream address (exclusive with -coord)")
@@ -116,6 +130,7 @@ func runStation(args []string) error {
 	seed := fs.Int64("seed", 1, "clip generator seed")
 	seconds := fs.Float64("seconds", 10, "seconds per clip")
 	name := fs.String("name", "kbs-01", "station name")
+	batch := fs.Int("batch", 64, "records per streamout batch (<=1 writes per record)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,7 +176,7 @@ func runStation(args []string) error {
 		case <-ctx.Done():
 			return nil
 		}
-		out = pipeline.NewStreamOut(entry)
+		out = pipeline.NewStreamOutBatched(entry, flushPolicy(*batch))
 		go func() {
 			for {
 				select {
@@ -174,7 +189,7 @@ func runStation(args []string) error {
 		}()
 		fmt.Printf("station: pipeline entry resolved to %s via coordinator %s\n", entry, *coordAddr)
 	} else {
-		out = pipeline.NewStreamOut(*to)
+		out = pipeline.NewStreamOutBatched(*to, flushPolicy(*batch))
 	}
 	defer out.Close()
 
@@ -257,11 +272,23 @@ func runCoord(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat interval told to nodes")
 	timeout := fs.Duration("timeout", 0, "heartbeat silence before a node is declared dead (default 4x heartbeat)")
 	minNodes := fs.Int("min-nodes", 1, "nodes required before the initial placement")
+	placerName := fs.String("placer", "least-loaded", "placement policy: least-loaded, spread or load-aware")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sinkAddr == "" {
 		return fmt.Errorf("coord: -sink is required")
+	}
+	var placer river.Placer
+	switch *placerName {
+	case "least-loaded":
+		placer = river.LeastLoaded{}
+	case "spread":
+		placer = river.Spread{}
+	case "load-aware":
+		placer = river.LoadAware{}
+	default:
+		return fmt.Errorf("coord: unknown placer %q (want least-loaded, spread or load-aware)", *placerName)
 	}
 	spec := river.PipelineSpec{SinkAddr: *sinkAddr}
 	for i, part := range strings.Split(*segments, ",") {
@@ -281,13 +308,14 @@ func runCoord(args []string) error {
 		HeartbeatInterval: *heartbeat,
 		HeartbeatTimeout:  *timeout,
 		MinNodes:          *minNodes,
+		Placer:            placer,
 		Logf:              func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("coordinator listening on %s (%d segment(s) -> sink %s)\n",
-		coord.Addr(), len(spec.Segments), *sinkAddr)
+	fmt.Printf("coordinator listening on %s (%d segment(s) -> sink %s, placer %s)\n",
+		coord.Addr(), len(spec.Segments), *sinkAddr, *placerName)
 	<-interruptContext().Done()
 	return coord.Close()
 }
@@ -299,6 +327,8 @@ func runNode(args []string) error {
 	name := fs.String("name", "", "node name (required, unique per coordinator)")
 	coordAddr := fs.String("coord", "", "coordinator address (required)")
 	host := fs.String("host", "127.0.0.1", "interface hosted segments listen on (must be dialable by upstream)")
+	batch := fs.Int("batch", 64, "records per hosted streamout batch (<=1 writes per record)")
+	queue := fs.Int("queue", pipeline.DefaultQueueSize, "hosted streamin emit-queue bound (0 = direct emit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -309,6 +339,8 @@ func runNode(args []string) error {
 	for ctx.Err() == nil {
 		agent := river.NewAgent(*name, *coordAddr, builtinRegistry())
 		agent.ListenHost = *host
+		agent.Node().FlushPolicy = flushPolicy(*batch)
+		agent.Node().QueueSize = *queue
 		agent.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 		err := agent.Run(ctx)
 		if ctx.Err() != nil {
@@ -340,7 +372,11 @@ func runStatus(args []string) error {
 	fmt.Printf("entry: %s\nsink:  %s\n", orDash(st.EntryAddr), st.SinkAddr)
 	fmt.Printf("nodes (%d):\n", len(st.Nodes))
 	for _, n := range st.Nodes {
-		fmt.Printf("  %-12s last heartbeat %4dms ago\n", n.Name, n.LastBeatMS)
+		proto := n.Proto
+		if proto == 0 {
+			proto = 1
+		}
+		fmt.Printf("  %-12s last heartbeat %4dms ago (proto v%d)\n", n.Name, n.LastBeatMS, proto)
 		for _, s := range n.Segments {
 			state := ""
 			if s.Failed {
@@ -349,8 +385,10 @@ func runStatus(args []string) error {
 					state += " (" + s.Err + ")"
 				}
 			}
-			fmt.Printf("    %-12s %-10s at %-21s processed=%d emitted=%d conns=%d repairs=%d%s\n",
-				s.Name, "("+s.Type+")", s.Addr, s.Processed, s.Emitted, s.Conns, s.BadCloses, state)
+			fmt.Printf("    %-12s %-10s at %-21s processed=%d emitted=%d lag=%d queue=%d/%d conns=%d repairs=%d%s\n",
+				s.Name, "("+s.Type+")", s.Addr, s.Processed, s.Emitted, s.LagValue(), s.QueueDepth, s.QueueCap, s.Conns, s.BadCloses, state)
+			fmt.Printf("    %-12s %-10s out: records=%d batches=%d bytes=%d\n",
+				"", "", s.RecordsOut, s.BatchesOut, s.BytesOut)
 		}
 	}
 	fmt.Printf("placements (%d):\n", len(st.Placements))

@@ -106,8 +106,11 @@ func main() {
 	placed := coord.Status().Placements[0]
 	fmt.Printf("phase 1: coordinator placed segment %q on %s at %s\n", placed.Seg, placed.Node, placed.Addr)
 
-	// Station: a streamout that follows the coordinator's entry address.
-	upstream := pipeline.NewStreamOut(<-entryCh)
+	// Station: a batch-framed streamout that follows the coordinator's
+	// entry address. Batching coalesces the clip's records into one
+	// network write per batch; the forced flush on redirect bounds what a
+	// failover can cut off to a single batch.
+	upstream := pipeline.NewStreamOutBatched(<-entryCh, record.DefaultBatchConfig())
 	defer upstream.Close()
 	followerCtx, stopFollower := context.WithCancel(context.Background())
 	defer stopFollower()
@@ -188,6 +191,18 @@ func main() {
 	}
 	sendClip()
 	time.Sleep(500 * time.Millisecond)
+
+	// The survivor's heartbeats carry the flow-control telemetry the
+	// load-aware placer feeds on; show what the healed segment reported.
+	for _, n := range coord.Status().Nodes {
+		for _, s := range n.Segments {
+			fmt.Printf("telemetry: %s on %s processed=%d emitted=%d lag=%d queue=%d/%d out: records=%d batches=%d bytes=%d\n",
+				s.Name, n.Name, s.Processed, s.Emitted, s.LagValue(), s.QueueDepth, s.QueueCap,
+				s.RecordsOut, s.BatchesOut, s.BytesOut)
+		}
+	}
+	fmt.Printf("station transport: %d records in %d batches (%d bytes)\n",
+		upstream.RecordsOut(), upstream.BatchesOut(), upstream.BytesOut())
 
 	// Teardown: stop the station, the surviving node, the coordinator and
 	// the terminal, then report.

@@ -12,45 +12,100 @@ import (
 	"repro/internal/record"
 )
 
+// DefaultQueueSize is the bounded emit queue capacity StreamIn uses when a
+// caller enables queueing without choosing a size (and the capacity Node
+// configures for hosted segments). It decouples the network reader from a
+// slow operator chain and makes the backlog observable as a queue depth.
+const DefaultQueueSize = 256
+
+// netReadBuffer sizes the record reader's buffer to swallow a full
+// upstream batch per syscall.
+const netReadBuffer = record.DefaultMaxBatchBytes
+
 // StreamOut is a Sink that writes records to a downstream host over TCP,
-// the streamout operator of the paper. It dials lazily and redials with
-// backoff when the connection drops or the downstream moves, so a pipeline
-// survives dynamic recomposition of its consumer. Redirect never waits on
-// an in-flight Consume: a write stuck redialling a dead host observes the
-// new address immediately, which is what lets a control plane splice a
-// re-placed segment back into a live stream.
+// the streamout operator of the paper. Records are framed through a
+// record.BatchWriter: with the default per-record policy every Consume
+// flushes immediately; a batching policy (SetFlushPolicy) coalesces
+// records into one network write per batch, cutting syscall overhead on
+// the hot path while a background timer bounds how long a record may wait.
+//
+// The sink dials lazily and redials with backoff when the connection drops
+// or the downstream moves, so a pipeline survives dynamic recomposition of
+// its consumer. Redirect never waits on an in-flight Consume: a write
+// stuck redialling a dead host observes the new address immediately, which
+// is what lets a control plane splice a re-placed segment back into a live
+// stream. Before a redirect or close severs the connection, the pending
+// batch is force-flushed (best effort, bounded) so at most one bounded
+// batch is in flight across a failover; a batch the old downstream never
+// acknowledged is replayed to the new one, with scope repair downstream
+// covering any duplicated tail.
 type StreamOut struct {
-	// writeMu serializes Consume callers; Redirect and Close do not take
-	// it, so they stay responsive while a write retries against a dead
-	// downstream.
+	// writeMu serializes the flush paths: Consume, the background timer
+	// flusher, and the best-effort forced flush in Redirect/Close (which
+	// only TryLock it, so they stay responsive while a write retries
+	// against a dead downstream). The batch writer is guarded by writeMu.
 	writeMu sync.Mutex
+	bw      *record.BatchWriter
 
 	mu         sync.Mutex // guards the fields below
 	addr       string
 	gen        uint64 // bumped on every Redirect
 	conn       net.Conn
-	w          *record.Writer
 	redirected chan struct{} // closed on Redirect to wake backoff waits
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// timerMu guards the armed flag and stall backoff of the on-demand
+	// delay-flush timer. It nests inside writeMu and is never held across
+	// a writeMu acquire.
+	timerMu    sync.Mutex
+	timerArmed bool
+	timerStall time.Duration // re-arm backoff while writeMu is contended
+	// maxDelay mirrors the policy's MaxDelay; written only at
+	// construction / SetFlushPolicy (before traffic).
+	maxDelay time.Duration
+
 	// Backoff bounds for redial attempts.
 	minBackoff time.Duration
 	maxBackoff time.Duration
+	// forceFlushTimeout bounds the best-effort flush in Redirect/Close.
+	forceFlushTimeout time.Duration
 }
 
-// NewStreamOut returns a streamout sink targeting addr ("host:port").
+// NewStreamOut returns a streamout sink targeting addr ("host:port") with
+// the per-record flush policy: every Consume is written through
+// immediately, the pre-batching behavior.
 func NewStreamOut(addr string) *StreamOut {
+	return NewStreamOutBatched(addr, record.PerRecordConfig())
+}
+
+// NewStreamOutBatched returns a streamout sink targeting addr with the
+// given flush policy. Use record.DefaultBatchConfig() for the standard
+// batched hot path.
+func NewStreamOutBatched(addr string, policy record.BatchConfig) *StreamOut {
 	ctx, cancel := context.WithCancel(context.Background())
+	bw := record.NewBatchWriter(nil, policy)
 	return &StreamOut{
-		addr:       addr,
-		redirected: make(chan struct{}),
-		ctx:        ctx,
-		cancel:     cancel,
-		minBackoff: 10 * time.Millisecond,
-		maxBackoff: 2 * time.Second,
+		bw:                bw,
+		maxDelay:          bw.Config().MaxDelay,
+		addr:              addr,
+		redirected:        make(chan struct{}),
+		ctx:               ctx,
+		cancel:            cancel,
+		minBackoff:        10 * time.Millisecond,
+		maxBackoff:        2 * time.Second,
+		forceFlushTimeout: 250 * time.Millisecond,
 	}
+}
+
+// SetFlushPolicy replaces the flush policy. It must be called before the
+// first Consume; changing policy mid-stream would race the flush paths.
+func (s *StreamOut) SetFlushPolicy(policy record.BatchConfig) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.bw = record.NewBatchWriter(nil, policy)
+	s.maxDelay = s.bw.Config().MaxDelay
 }
 
 // Name implements Sink.
@@ -60,14 +115,43 @@ func (s *StreamOut) Name() string {
 	return "streamout(" + s.addr + ")"
 }
 
+// RecordsOut returns the number of records flushed to the network.
+func (s *StreamOut) RecordsOut() uint64 { return s.bw.Count() }
+
+// BatchesOut returns the number of batch writes issued.
+func (s *StreamOut) BatchesOut() uint64 { return s.bw.Batches() }
+
+// BytesOut returns the total encoded bytes written.
+func (s *StreamOut) BytesOut() uint64 { return s.bw.BytesWritten() }
+
 // Redirect atomically switches the destination address; the next write
 // dials the new target. This is the mechanism pipeline recomposition uses
 // to splice a moved segment back into the stream. It returns without
 // waiting for in-flight writes: a Consume blocked redialling the old
-// address wakes and retries against the new one. Redirecting to the
-// current address is a no-op, so a control plane re-announcing an
-// unchanged entry point cannot sever a healthy connection mid-stream.
+// address wakes and retries against the new one. When no write is in
+// flight, the pending batch is force-flushed to the old downstream (one
+// bounded attempt) before the switch, so a clean redirect hands off with
+// nothing owed to the old destination; if the flush fails — or a write is
+// mid-flight — the batch is replayed to the new address instead.
+// Redirecting to the current address is a no-op, so a control plane
+// re-announcing an unchanged entry point cannot sever a healthy connection
+// mid-stream.
 func (s *StreamOut) Redirect(addr string) {
+	s.mu.Lock()
+	same := addr == s.addr
+	s.mu.Unlock()
+	if same {
+		return
+	}
+	// Forced flush, best effort: only when no writer holds the flush path
+	// (TryLock keeps Redirect non-blocking under a stalled Consume).
+	// Holding writeMu across the address swap below also stops a racing
+	// Consume from starting a fresh batch toward the old destination.
+	locked := s.writeMu.TryLock()
+	if locked {
+		defer s.writeMu.Unlock()
+		s.forceFlushLocked(false)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if addr == s.addr {
@@ -80,17 +164,154 @@ func (s *StreamOut) Redirect(addr string) {
 	s.redirected = make(chan struct{})
 }
 
-// Consume implements Sink: it writes the record, redialling as needed.
+// forceFlushLocked makes one deadline-bounded attempt to deliver the
+// pending batch over the established connection. With dial false (the
+// Redirect path) it never dials: a batch with no connection yet owes
+// nothing to the old destination and simply rides to the new one. With
+// dial true (the Close path, where there is no next destination to ride
+// to) it makes one bounded dial so a cleanly closed stream does not
+// strand its tail. Caller holds writeMu.
+func (s *StreamOut) forceFlushLocked(dial bool) {
+	if s.bw.Pending() == 0 {
+		return
+	}
+	s.mu.Lock()
+	conn, addr := s.conn, s.addr
+	s.mu.Unlock()
+	if conn == nil {
+		if !dial {
+			return
+		}
+		nc, err := net.DialTimeout("tcp", addr, s.forceFlushTimeout)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.conn == nil {
+			s.conn = nc
+		}
+		s.mu.Unlock()
+		conn = nc
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(s.forceFlushTimeout))
+	s.bw.SetOutput(conn)
+	if err := s.bw.Flush(); err != nil {
+		// The batch stays pending and will be replayed to the next
+		// destination; the connection is in an unknown state, drop it.
+		s.mu.Lock()
+		if s.conn == conn {
+			s.dropConnLocked()
+		}
+		s.mu.Unlock()
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Time{})
+}
+
+// Consume implements Sink: it frames the record into the pending batch and
+// flushes per policy, redialling as needed. With a batching policy most
+// calls return without any I/O.
 func (s *StreamOut) Consume(r *record.Record) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	if s.ctx.Err() != nil {
+		return ErrStopped
+	}
+	if err := s.bw.Add(r); err != nil {
+		return err
+	}
+	if s.bw.ShouldFlush() {
+		return s.flushLocked()
+	}
+	if s.maxDelay > 0 {
+		s.armFlushTimer(s.maxDelay)
+	}
+	return nil
+}
+
+// Flush delivers any pending batch now, retrying until it lands or the
+// sink closes. Callers use it to bound what is in flight before a
+// checkpoint.
+func (s *StreamOut) Flush() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.ctx.Err() != nil {
+		return ErrStopped
+	}
+	return s.flushLocked()
+}
+
+// armFlushTimer schedules a delayed flush so a batch whose oldest record
+// exceeds MaxDelay is delivered even if no further Consume arrives. The
+// timer is armed on demand — only while a batch is pending — so an idle
+// streamout costs no wakeups.
+func (s *StreamOut) armFlushTimer(d time.Duration) {
+	s.timerMu.Lock()
+	defer s.timerMu.Unlock()
+	if s.timerArmed || s.ctx.Err() != nil {
+		return
+	}
+	s.timerArmed = true
+	time.AfterFunc(d, s.timedFlush)
+}
+
+// timedFlush runs when the delay timer fires: if the pending batch is
+// stale it is delivered; a younger batch (the timer outlived the batch it
+// was armed for) re-arms for the remainder.
+func (s *StreamOut) timedFlush() {
+	s.timerMu.Lock()
+	s.timerArmed = false
+	s.timerMu.Unlock()
+	if s.ctx.Err() != nil {
+		return
+	}
+	// A held writeMu means a Consume or flush is already active; it will
+	// deliver the batch itself, but re-check in case it leaves a fresh
+	// batch pending. Re-arms back off exponentially so a flush stalled
+	// for minutes against a dead downstream is not shadowed by a
+	// MaxDelay-rate timer spin.
+	if !s.writeMu.TryLock() {
+		s.timerMu.Lock()
+		d := s.timerStall
+		if d < s.maxDelay {
+			d = s.maxDelay
+		}
+		if d *= 2; d > 250*time.Millisecond {
+			d = 250 * time.Millisecond
+		}
+		s.timerStall = d
+		s.timerMu.Unlock()
+		s.armFlushTimer(d)
+		return
+	}
+	defer s.writeMu.Unlock()
+	s.timerMu.Lock()
+	s.timerStall = 0
+	s.timerMu.Unlock()
+	if s.bw.Pending() == 0 {
+		return
+	}
+	if age := s.bw.Age(); age < s.maxDelay {
+		s.armFlushTimer(s.maxDelay - age)
+		return
+	}
+	_ = s.flushLocked()
+}
+
+// flushLocked delivers the pending batch, dialling and redialling with
+// backoff until the write lands, the target moves (retry against the new
+// address), or the sink closes. Caller holds writeMu.
+func (s *StreamOut) flushLocked() error {
+	if s.bw.Pending() == 0 {
+		return nil
+	}
 	backoff := s.minBackoff
 	for {
-		if err := s.ctx.Err(); err != nil {
+		if s.ctx.Err() != nil {
 			return ErrStopped
 		}
 		s.mu.Lock()
-		addr, gen, conn, w, redirected := s.addr, s.gen, s.conn, s.w, s.redirected
+		addr, gen, conn, redirected := s.addr, s.gen, s.conn, s.redirected
 		s.mu.Unlock()
 		if conn == nil {
 			nc, err := (&net.Dialer{Timeout: time.Second}).DialContext(s.ctx, "tcp", addr)
@@ -121,14 +342,14 @@ func (s *StreamOut) Consume(r *record.Record) error {
 				continue
 			}
 			s.conn = nc
-			s.w = record.NewWriter(nc)
 			s.mu.Unlock()
 			continue
 		}
-		if err := w.Write(r); err != nil {
-			// Connection broke mid-write (or Redirect closed it): drop it
-			// and retry on a fresh dial. The reader side repairs scope
-			// damage.
+		s.bw.SetOutput(conn)
+		if err := s.bw.Flush(); err != nil {
+			// Connection broke mid-write (or Redirect closed it): the batch
+			// stays pending; drop the conn and retry on a fresh dial. The
+			// reader side repairs scope damage from any partial delivery.
 			s.mu.Lock()
 			if s.conn == conn {
 				s.dropConnLocked()
@@ -140,8 +361,14 @@ func (s *StreamOut) Consume(r *record.Record) error {
 	}
 }
 
-// Close terminates the sink and its connection.
+// Close terminates the sink and its connection, force-flushing the pending
+// batch (best effort, bounded) so a cleanly closed stream does not strand
+// its tail in the buffer.
 func (s *StreamOut) Close() error {
+	if s.writeMu.TryLock() {
+		s.forceFlushLocked(true)
+		s.writeMu.Unlock()
+	}
 	s.cancel()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -153,7 +380,6 @@ func (s *StreamOut) dropConnLocked() {
 	if s.conn != nil {
 		_ = s.conn.Close()
 		s.conn = nil
-		s.w = nil
 	}
 }
 
@@ -163,14 +389,22 @@ func (s *StreamOut) dropConnLocked() {
 // scopes still open — the upstream segment died or was moved mid-clip —
 // StreamIn synthesizes BadCloseScope records so downstream operators can
 // resynchronize, then waits for the next connection.
+//
+// With QueueSize > 0 records pass through a bounded emit queue that
+// decouples the network reader from the downstream chain; QueueDepth
+// exposes the backlog as the saturation gauge backpressure-aware placement
+// feeds on. Transient Accept errors (file-descriptor pressure, aborted
+// handshakes) are retried with a short backoff instead of tearing the
+// pipeline down.
 type StreamIn struct {
 	ln     net.Listener
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	mu    sync.Mutex
-	conns uint64 // accepted connections
-	bad   uint64 // BadCloseScope records synthesized
+	conns uint64              // accepted connections
+	bad   uint64              // BadCloseScope records synthesized
+	queue chan *record.Record // live emit queue while Run uses one
 
 	// MaxConns, when positive, stops the source cleanly after that many
 	// upstream connections have been served (used by finite pipelines and
@@ -181,6 +415,11 @@ type StreamIn struct {
 	// connection arrives within the window (protects finite pipelines
 	// from waiting forever on a dead upstream).
 	IdleTimeout time.Duration
+
+	// QueueSize, when positive, bounds the emit queue between the network
+	// reader and the downstream emitter. 0 emits directly (no queue).
+	// Set before Run.
+	QueueSize int
 }
 
 // NewStreamIn returns a streamin source listening on addr ("host:port";
@@ -215,6 +454,18 @@ func (s *StreamIn) BadCloses() uint64 {
 	return s.bad
 }
 
+// QueueDepth returns the current emit-queue backlog and its capacity
+// (0, 0 when no queue is running). This is the saturation signal node
+// heartbeats carry to the coordinator.
+func (s *StreamIn) QueueDepth() (depth, capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queue == nil {
+		return 0, 0
+	}
+	return len(s.queue), cap(s.queue)
+}
+
 // Close stops the source: the listener closes and Run returns after the
 // current connection drains.
 func (s *StreamIn) Close() error {
@@ -223,9 +474,77 @@ func (s *StreamIn) Close() error {
 }
 
 // Run implements Source: it accepts connections and forwards their records
-// until Close (or MaxConns/IdleTimeout).
+// until Close (or MaxConns/IdleTimeout). With QueueSize > 0 a drain
+// goroutine emits from the bounded queue while the network reader fills
+// it.
 func (s *StreamIn) Run(out Emitter) error {
+	emit := out
+	var q chan *record.Record
+	var drainWG sync.WaitGroup
+	var drainErr error
+	drainDead := make(chan struct{})
+	if s.QueueSize > 0 {
+		q = make(chan *record.Record, s.QueueSize)
+		s.mu.Lock()
+		s.queue = q
+		s.mu.Unlock()
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for r := range q {
+				if drainErr != nil {
+					continue // discard so the reader side never blocks
+				}
+				if err := out.Emit(r); err != nil {
+					drainErr = err
+					close(drainDead)
+				}
+			}
+		}()
+		emit = EmitterFunc(func(r *record.Record) error {
+			// Check for a dead drain first: once the downstream has
+			// failed, every enqueue must surface the error immediately
+			// rather than racing against the (always-ready) queue and
+			// silently discarding records.
+			select {
+			case <-drainDead:
+				return drainErr
+			default:
+			}
+			select {
+			case q <- r:
+				return nil
+			case <-drainDead:
+				return drainErr
+			case <-s.ctx.Done():
+				return ErrStopped
+			}
+		})
+	}
+
+	err := s.acceptLoop(emit)
+
+	if q != nil {
+		close(q)
+		drainWG.Wait()
+		s.mu.Lock()
+		s.queue = nil
+		s.mu.Unlock()
+		if err == nil && drainErr != nil && !errors.Is(drainErr, ErrStopped) {
+			err = drainErr
+		}
+	}
+	return err
+}
+
+// acceptLoop serves upstream connections sequentially until the source
+// stops. Transient accept failures back off and retry rather than killing
+// the pipeline; only a closed listener (without Close having been called)
+// is fatal.
+func (s *StreamIn) acceptLoop(out Emitter) error {
 	served := 0
+	backoff := 10 * time.Millisecond
+	const maxAcceptBackoff = time.Second
 	for {
 		if s.ctx.Err() != nil {
 			return nil
@@ -248,8 +567,24 @@ func (s *StreamIn) Run(out Emitter) error {
 			if errors.As(err, &nerr) && nerr.Timeout() {
 				return nil // idle timeout: clean finish
 			}
-			return fmt.Errorf("streamin: accept: %w", err)
+			if errors.Is(err, net.ErrClosed) {
+				// The listener is gone and Close was not called: nothing
+				// to retry against.
+				return fmt.Errorf("streamin: accept: %w", err)
+			}
+			// Transient (EMFILE, ECONNABORTED, ...): back off and keep
+			// serving instead of tearing the whole pipeline down.
+			select {
+			case <-s.ctx.Done():
+				return nil
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			continue
 		}
+		backoff = 10 * time.Millisecond
 		served++
 		s.mu.Lock()
 		s.conns++
@@ -277,7 +612,7 @@ func (s *StreamIn) serveConn(conn net.Conn, out Emitter) error {
 	}()
 
 	tracker := record.NewTracker()
-	rd := record.NewReader(conn)
+	rd := record.NewReaderSize(conn, netReadBuffer)
 	for {
 		rec, err := rd.Read()
 		if err != nil {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/record"
 )
 
 // OperatorFactory builds a fresh operator chain for a segment. Dynamic
@@ -64,6 +66,14 @@ type Node struct {
 	name string
 	reg  *Registry
 
+	// FlushPolicy is the batch framing policy applied to hosted segments'
+	// streamout sinks. NewNode defaults it to record.DefaultBatchConfig
+	// (the batched hot path); set before Host to override.
+	FlushPolicy record.BatchConfig
+	// QueueSize bounds hosted segments' streamin emit queues (default
+	// DefaultQueueSize); set before Host to override.
+	QueueSize int
+
 	mu     sync.Mutex
 	hosted map[string]*hostedSegment
 }
@@ -77,9 +87,18 @@ type hostedSegment struct {
 	err    error
 }
 
-// NewNode returns a node that instantiates segments from reg.
+// NewNode returns a node that instantiates segments from reg. Hosted
+// segments use the batched transport defaults (batch framing on streamout,
+// a bounded emit queue on streamin); override FlushPolicy/QueueSize before
+// Host to change that.
 func NewNode(name string, reg *Registry) *Node {
-	return &Node{name: name, reg: reg, hosted: make(map[string]*hostedSegment)}
+	return &Node{
+		name:        name,
+		reg:         reg,
+		FlushPolicy: record.DefaultBatchConfig(),
+		QueueSize:   DefaultQueueSize,
+		hosted:      make(map[string]*hostedSegment),
+	}
 }
 
 // Name returns the node name.
@@ -109,7 +128,8 @@ func (n *Node) Host(segName, segType, listenAddr, downstreamAddr string) (string
 	if err != nil {
 		return "", err
 	}
-	out := NewStreamOut(downstreamAddr)
+	in.QueueSize = n.QueueSize
+	out := NewStreamOutBatched(downstreamAddr, n.FlushPolicy)
 	seg := NewSegment(segName, ops...)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -170,6 +190,21 @@ type SegmentStats struct {
 	Emitted   uint64 // records produced by the operator chain
 	Conns     uint64 // upstream connections served
 	BadCloses uint64 // BadCloseScope repairs synthesized on ingest
+	// Lag is the cumulative processed−emitted delta (saturating at 0).
+	// For record-for-record operators it approximates backlog; for
+	// filtering segments (the extraction chain discards most records by
+	// design) it grows steadily on a healthy instance, so consumers must
+	// treat it as a coarse signal — QueueDepth is the saturation gauge.
+	Lag uint64
+	// QueueDepth/QueueCap expose the streamin emit-queue backlog and its
+	// bound; depth near cap means the operator chain is saturated.
+	QueueDepth int
+	QueueCap   int
+	// RecordsOut/BatchesOut/BytesOut count what the segment's streamout
+	// has flushed to the wire.
+	RecordsOut uint64
+	BatchesOut uint64
+	BytesOut   uint64
 	// Failed reports that the segment's pipeline exited on its own — an
 	// operator error, not a Stop — and the instance is no longer
 	// processing; Err carries the cause. A control plane treats this as
@@ -185,13 +220,20 @@ func (n *Node) Stats() []SegmentStats {
 	out := make([]SegmentStats, 0, len(n.hosted))
 	for name, h := range n.hosted {
 		s := SegmentStats{
-			Name:      name,
-			Addr:      h.in.Addr(),
-			Processed: h.seg.Processed(),
-			Emitted:   h.seg.Emitted(),
-			Conns:     h.in.Connections(),
-			BadCloses: h.in.BadCloses(),
+			Name:       name,
+			Addr:       h.in.Addr(),
+			Processed:  h.seg.Processed(),
+			Emitted:    h.seg.Emitted(),
+			Conns:      h.in.Connections(),
+			BadCloses:  h.in.BadCloses(),
+			RecordsOut: h.out.RecordsOut(),
+			BatchesOut: h.out.BatchesOut(),
+			BytesOut:   h.out.BytesOut(),
 		}
+		if p, e := s.Processed, s.Emitted; p > e {
+			s.Lag = p - e
+		}
+		s.QueueDepth, s.QueueCap = h.in.QueueDepth()
 		select {
 		case <-h.done:
 			// Still in the hosted map but its pipeline has exited: the

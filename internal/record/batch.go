@@ -1,0 +1,217 @@
+package record
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// BatchConfig parameterizes a BatchWriter's flush policy. A batch is
+// flushed — written to the output in one Write call — when any trigger
+// fires: the record count reaches MaxRecords, the encoded bytes reach
+// MaxBytes, the oldest buffered record is older than MaxDelay, a record the
+// policy treats as a boundary (top-level scope close, control) is added, or
+// Flush is called explicitly.
+type BatchConfig struct {
+	// MaxRecords flushes after this many buffered records. Values <= 1
+	// select per-record writes (every Add is immediately flushable), the
+	// behavior of the plain Writer.
+	MaxRecords int
+	// MaxBytes flushes once the encoded batch reaches this size, so a few
+	// large payloads do not pin an unbounded buffer (default 256 KiB).
+	MaxBytes int
+	// MaxDelay bounds how long a record may sit in the batch. Age is
+	// checked on Add; callers writing sporadically should also arrange a
+	// timer that calls Flush (StreamOut does). <= 0 disables the trigger.
+	MaxDelay time.Duration
+	// FlushOnClose flushes when a CloseScope/BadCloseScope record at depth
+	// 0 is added: the end of a top-level scope (a clip, a session) is a
+	// natural delivery boundary that downstream consumers wait on.
+	FlushOnClose bool
+	// FlushOnControl flushes when a Control record is added; control
+	// records carry out-of-band pipeline signals that must not sit in a
+	// buffer behind data.
+	FlushOnControl bool
+}
+
+// DefaultMaxBatchBytes is the default byte bound of a batch. Readers on
+// the receiving side of a batched stream size their buffers to it so a
+// whole batch is ingested per syscall and decoded on the Peek fast path.
+const DefaultMaxBatchBytes = 256 << 10
+
+// DefaultBatchConfig returns the batching policy used by hosted segments:
+// batches of up to 64 records or DefaultMaxBatchBytes, at most 2ms old,
+// with prompt delivery at top-level scope boundaries and for control
+// records.
+func DefaultBatchConfig() BatchConfig {
+	return BatchConfig{
+		MaxRecords:     64,
+		MaxBytes:       DefaultMaxBatchBytes,
+		MaxDelay:       2 * time.Millisecond,
+		FlushOnClose:   true,
+		FlushOnControl: true,
+	}
+}
+
+// PerRecordConfig returns a policy that flushes every record immediately —
+// the plain Writer's behavior, expressed as a BatchConfig.
+func PerRecordConfig() BatchConfig {
+	return BatchConfig{MaxRecords: 1, FlushOnClose: true, FlushOnControl: true}
+}
+
+// withDefaults normalizes a config so the zero value batches sensibly.
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxRecords < 1 {
+		c.MaxRecords = 1
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBatchBytes
+	}
+	return c
+}
+
+// ErrNoOutput is returned by Flush when records are pending but no output
+// writer is attached.
+var ErrNoOutput = errors.New("record: batch writer has no output")
+
+// BatchWriter encodes records into an in-memory batch and writes the whole
+// batch to its output in a single Write call, cutting the per-record
+// syscall overhead on the streamout hot path. The wire format is unchanged
+// — a batch is just concatenated record frames — so any Reader, including
+// pre-batching ones, decodes the stream.
+//
+// BatchWriter separates buffering from I/O so callers that manage flaky
+// outputs (a streamout redialling a moved downstream) can retarget the
+// output with SetOutput and retry Flush without losing the pending batch:
+// Flush keeps the buffer intact on error.
+//
+// BatchWriter is not safe for concurrent use; the stats accessors (Count,
+// Batches, BytesWritten) are safe to call from other goroutines.
+type BatchWriter struct {
+	cfg   BatchConfig
+	out   io.Writer
+	buf   []byte
+	recs  int
+	first time.Time // when the oldest pending record was added
+	force bool      // a boundary record (close/control) is pending
+
+	nRecs    atomic.Uint64
+	nBatches atomic.Uint64
+	nBytes   atomic.Uint64
+}
+
+// NewBatchWriter returns a BatchWriter flushing to w under cfg. w may be
+// nil if the caller attaches an output with SetOutput before flushing.
+func NewBatchWriter(w io.Writer, cfg BatchConfig) *BatchWriter {
+	return &BatchWriter{cfg: cfg.withDefaults(), out: w}
+}
+
+// Config returns the writer's normalized flush policy.
+func (b *BatchWriter) Config() BatchConfig { return b.cfg }
+
+// SetOutput retargets the underlying writer, keeping any pending batch so
+// it can be flushed to the new output.
+func (b *BatchWriter) SetOutput(w io.Writer) { b.out = w }
+
+// Add encodes r into the pending batch without any I/O. Callers combine it
+// with ShouldFlush and Flush; Write does all three.
+func (b *BatchWriter) Add(r *Record) error {
+	if !r.Kind.Valid() {
+		return fmt.Errorf("record: batch add: invalid kind %d", r.Kind)
+	}
+	if len(r.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(r.Payload))
+	}
+	if b.recs == 0 {
+		b.first = time.Now()
+	}
+	b.buf = AppendWire(b.buf, r)
+	b.recs++
+	if (b.cfg.FlushOnControl && r.Kind == KindControl) ||
+		(b.cfg.FlushOnClose && r.Kind.IsClose() && r.Scope == 0) {
+		b.force = true
+	}
+	return nil
+}
+
+// ShouldFlush reports whether the pending batch has hit a flush trigger.
+func (b *BatchWriter) ShouldFlush() bool {
+	if b.recs == 0 {
+		return false
+	}
+	if b.force || b.recs >= b.cfg.MaxRecords || len(b.buf) >= b.cfg.MaxBytes {
+		return true
+	}
+	return b.cfg.MaxDelay > 0 && time.Since(b.first) >= b.cfg.MaxDelay
+}
+
+// Pending returns the number of records buffered but not yet flushed.
+func (b *BatchWriter) Pending() int { return b.recs }
+
+// PendingBytes returns the encoded size of the pending batch.
+func (b *BatchWriter) PendingBytes() int { return len(b.buf) }
+
+// Age returns how long the oldest pending record has been buffered, or 0
+// when the batch is empty.
+func (b *BatchWriter) Age() time.Duration {
+	if b.recs == 0 {
+		return 0
+	}
+	return time.Since(b.first)
+}
+
+// Flush writes the whole pending batch to the output in one Write. On
+// success the batch is cleared; on error it is kept so the caller can
+// retarget the output and retry. An empty batch flushes to a no-op.
+func (b *BatchWriter) Flush() error {
+	if b.recs == 0 {
+		return nil
+	}
+	if b.out == nil {
+		return ErrNoOutput
+	}
+	if _, err := b.out.Write(b.buf); err != nil {
+		return fmt.Errorf("record: batch flush: %w", err)
+	}
+	b.nRecs.Add(uint64(b.recs))
+	b.nBatches.Add(1)
+	b.nBytes.Add(uint64(len(b.buf)))
+	b.buf = b.buf[:0]
+	b.recs = 0
+	b.force = false
+	return nil
+}
+
+// Discard drops the pending batch without writing it. Callers use it when
+// the stream is being abandoned (shutdown with an unreachable downstream).
+// It returns the number of records dropped.
+func (b *BatchWriter) Discard() int {
+	n := b.recs
+	b.buf = b.buf[:0]
+	b.recs = 0
+	b.force = false
+	return n
+}
+
+// Write encodes r and flushes if a policy trigger fires — the drop-in
+// batched replacement for Writer.Write when the output is stable.
+func (b *BatchWriter) Write(r *Record) error {
+	if err := b.Add(r); err != nil {
+		return err
+	}
+	if b.ShouldFlush() {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Count returns the number of records flushed to the output.
+func (b *BatchWriter) Count() uint64 { return b.nRecs.Load() }
+
+// Batches returns the number of batch writes issued.
+func (b *BatchWriter) Batches() uint64 { return b.nBatches.Load() }
+
+// BytesWritten returns the total encoded bytes flushed.
+func (b *BatchWriter) BytesWritten() uint64 { return b.nBytes.Load() }

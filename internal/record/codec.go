@@ -116,7 +116,19 @@ type Reader struct {
 // the next magic word after encountering corruption unless SetStrict(true)
 // is called.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+	return NewReaderSize(r, 64<<10)
+}
+
+// NewReaderSize returns a Reader with a read buffer of at least size bytes.
+// Batched writers deliver whole batches in one network write; a buffer
+// sized to the peer's batch limit (see BatchConfig.MaxBytes) lets the
+// reader ingest a batch per syscall and decode every record on the
+// zero-extra-copy Peek fast path.
+func NewReaderSize(r io.Reader, size int) *Reader {
+	if size < headerSize+trailerSize {
+		size = headerSize + trailerSize
+	}
+	return &Reader{r: bufio.NewReaderSize(r, size)}
 }
 
 // SetStrict controls corruption handling: in strict mode any framing or

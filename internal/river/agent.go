@@ -80,7 +80,7 @@ func (a *Agent) Run(ctx context.Context) error {
 		}
 	}()
 
-	if err := w.send(&Message{Type: TypeRegister, Node: a.name}); err != nil {
+	if err := w.send(&Message{Type: TypeRegister, Node: a.name, Ver: ProtocolVersion}); err != nil {
 		return err
 	}
 	intervalCh := make(chan time.Duration, 1)
@@ -196,15 +196,20 @@ func (a *Agent) segmentStats() []SegmentStatus {
 	out := make([]SegmentStatus, len(stats))
 	for i, s := range stats {
 		out[i] = SegmentStatus{
-			Name:      s.Name,
-			Type:      a.types[s.Name],
-			Addr:      s.Addr,
-			Processed: s.Processed,
-			Emitted:   s.Emitted,
-			Conns:     s.Conns,
-			BadCloses: s.BadCloses,
-			Failed:    s.Failed,
-			Err:       s.Err,
+			Name:       s.Name,
+			Type:       a.types[s.Name],
+			Addr:       s.Addr,
+			Processed:  s.Processed,
+			Emitted:    s.Emitted,
+			Conns:      s.Conns,
+			BadCloses:  s.BadCloses,
+			QueueDepth: s.QueueDepth,
+			QueueCap:   s.QueueCap,
+			RecordsOut: s.RecordsOut,
+			BatchesOut: s.BatchesOut,
+			BytesOut:   s.BytesOut,
+			Failed:     s.Failed,
+			Err:        s.Err,
 		}
 	}
 	return out

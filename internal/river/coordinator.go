@@ -82,6 +82,7 @@ func (c Config) withDefaults() Config {
 type member struct {
 	name     string
 	w        *wire
+	proto    int // protocol version announced at register (0/absent = v1)
 	lastBeat time.Time
 	stats    []SegmentStatus
 	// pending maps request IDs to reply channels; nil once the member is
@@ -263,6 +264,7 @@ func (c *Coordinator) Status() *ClusterStatus {
 			Name:       name,
 			LastBeatMS: now.Sub(m.lastBeat).Milliseconds(),
 			Segments:   append([]SegmentStatus(nil), m.stats...),
+			Proto:      m.proto,
 		})
 	}
 	for _, sp := range c.cfg.Spec.Segments {
@@ -357,9 +359,14 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 		_ = w.send(&Message{Type: TypeAck, Err: "register without node name"})
 		return
 	}
+	proto := reg.Ver
+	if proto == 0 {
+		proto = 1 // pre-versioning agents sent no Ver
+	}
 	m := &member{
 		name:     name,
 		w:        w,
+		proto:    proto,
 		lastBeat: time.Now(),
 		pending:  make(map[uint64]chan *Message),
 	}
@@ -371,11 +378,11 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 	}
 	c.nodes[name] = m
 	c.mu.Unlock()
-	if err := w.send(&Message{Type: TypeAck, HeartbeatMS: c.cfg.HeartbeatInterval.Milliseconds()}); err != nil {
+	if err := w.send(&Message{Type: TypeAck, Ver: ProtocolVersion, HeartbeatMS: c.cfg.HeartbeatInterval.Milliseconds()}); err != nil {
 		c.markDead(name, "register ack failed")
 		return
 	}
-	c.logf("node %s registered", name)
+	c.logf("node %s registered (proto v%d)", name, proto)
 	c.kickReconcile()
 	for {
 		msg, err := w.recv()
@@ -573,7 +580,7 @@ func (c *Coordinator) reconcile() {
 		if placed || down == "" {
 			continue
 		}
-		node := c.pickNode()
+		node := c.pickNode(sp.Name)
 		if node == "" {
 			c.logf("segment %s waiting: no eligible nodes", sp.Name)
 			continue
@@ -664,10 +671,13 @@ func (c *Coordinator) resyncUpstreams() {
 	}
 }
 
-// pickNode chooses a live node via the placement policy, weighting by the
-// number of segments already placed on each. It returns "" until MinNodes
+// pickNode chooses a live node for segment segName via the placement
+// policy. Each candidate carries its placed-segment count plus the flow
+// telemetry from its latest heartbeat (summed lag and queue backlog) and
+// whether it hosts a spec neighbor of segName, so policies can spread
+// chains and steer around saturated nodes. It returns "" until MinNodes
 // nodes have registered at least once (the bootstrap gate).
-func (c *Coordinator) pickNode() string {
+func (c *Coordinator) pickNode(segName string) string {
 	c.mu.Lock()
 	if !c.bootstrapped {
 		if len(c.nodes) < c.cfg.MinNodes {
@@ -676,18 +686,44 @@ func (c *Coordinator) pickNode() string {
 		}
 		c.bootstrapped = true
 	}
-	load := make(map[string]int, len(c.nodes))
-	for name := range c.nodes {
-		load[name] = 0
+	// Nodes hosting a segment adjacent to segName in the chain.
+	neighbors := make(map[string]bool, 2)
+	for i, sp := range c.cfg.Spec.Segments {
+		if sp.Name != segName {
+			continue
+		}
+		if i > 0 {
+			if p := c.placements[c.cfg.Spec.Segments[i-1].Name]; p.node != "" {
+				neighbors[p.node] = true
+			}
+		}
+		if i < len(c.cfg.Spec.Segments)-1 {
+			if p := c.placements[c.cfg.Spec.Segments[i+1].Name]; p.node != "" {
+				neighbors[p.node] = true
+			}
+		}
+		break
+	}
+	load := make(map[string]*NodeLoad, len(c.nodes))
+	for name, m := range c.nodes {
+		nl := &NodeLoad{Name: name, HostsNeighbor: neighbors[name]}
+		for _, st := range m.stats {
+			nl.Lag += st.LagValue()
+			nl.QueueDepth += st.QueueDepth
+			nl.QueueCap += st.QueueCap
+		}
+		load[name] = nl
 	}
 	for _, p := range c.placements {
 		if p.node != "" {
-			load[p.node]++
+			if nl := load[p.node]; nl != nil {
+				nl.Segments++
+			}
 		}
 	}
 	cands := make([]NodeLoad, 0, len(load))
-	for name, n := range load {
-		cands = append(cands, NodeLoad{Name: name, Segments: n})
+	for _, nl := range load {
+		cands = append(cands, *nl)
 	}
 	c.mu.Unlock()
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Name < cands[j].Name })

@@ -19,6 +19,16 @@ import (
 	"sync"
 )
 
+// ProtocolVersion is the control protocol revision this build speaks.
+// Version 2 added flow-control telemetry to heartbeats (lag, queue depth,
+// batch/byte counters). The protocol is JSON with optional fields, so
+// decode is backward compatible in both directions: a v1 peer's messages
+// simply lack the new fields (they decode to zero), and a v1 decoder
+// ignores fields it does not know. Agents announce their version in the
+// register message; the coordinator records it and echoes its own in the
+// ack, so operators can spot mixed-version clusters in status output.
+const ProtocolVersion = 2
+
 // Control message types. Register, heartbeat and ack flow from agents to
 // the coordinator; assign, redirect and stop flow the other way. Status
 // and watch open short client sessions (the status CLI, a source following
@@ -55,6 +65,9 @@ type Message struct {
 	Type string `json:"type"`
 	// ID matches a request to its ack; zero for unsolicited messages.
 	ID uint64 `json:"id,omitempty"`
+	// Ver is the sender's ProtocolVersion (register and register ack).
+	// Absent (0) means a pre-versioning v1 peer.
+	Ver int `json:"ver,omitempty"`
 	// Node names the sending agent (register, heartbeat).
 	Node string `json:"node,omitempty"`
 	// Seg and SegType identify a segment instance and its registry type.
@@ -86,6 +99,17 @@ type SegmentStatus struct {
 	Emitted   uint64 `json:"emitted"`
 	Conns     uint64 `json:"conns"`
 	BadCloses uint64 `json:"bad_closes"`
+	// Flow-control telemetry (protocol v2): the streamin emit-queue
+	// backlog against its bound, and what the segment's streamout has
+	// flushed. v1 heartbeats leave these zero. Lag is not carried — it is
+	// derived from the authoritative Processed/Emitted counters wherever
+	// it is consumed (see SegmentStatus.LagValue), so placement and
+	// display can never disagree.
+	QueueDepth int    `json:"queue_depth,omitempty"`
+	QueueCap   int    `json:"queue_cap,omitempty"`
+	RecordsOut uint64 `json:"records_out,omitempty"`
+	BatchesOut uint64 `json:"batches_out,omitempty"`
+	BytesOut   uint64 `json:"bytes_out,omitempty"`
 	// Failed marks an instance whose pipeline exited on an operator
 	// error while its node stayed healthy; Err carries the cause. The
 	// coordinator re-places failed segments just like those on dead
@@ -94,12 +118,26 @@ type SegmentStatus struct {
 	Err    string `json:"seg_err,omitempty"`
 }
 
+// LagValue returns the segment's cumulative processed−emitted delta
+// (saturating at 0), derived from the counters rather than carried on the
+// wire. For filtering segments this includes intentional data reduction,
+// not just backlog — see SegmentStats.Lag in internal/pipeline.
+func (s SegmentStatus) LagValue() uint64 {
+	if s.Processed > s.Emitted {
+		return s.Processed - s.Emitted
+	}
+	return 0
+}
+
 // NodeStatus describes one registered agent in a ClusterStatus.
 type NodeStatus struct {
 	Name string `json:"name"`
 	// LastBeatMS is the age of the most recent heartbeat in milliseconds.
 	LastBeatMS int64           `json:"last_beat_ms"`
 	Segments   []SegmentStatus `json:"segments,omitempty"`
+	// Proto is the protocol version the agent registered with (1 for
+	// pre-versioning agents, which report no flow telemetry).
+	Proto int `json:"proto,omitempty"`
 }
 
 // PlacementStatus describes where one pipeline segment currently runs.

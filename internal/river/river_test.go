@@ -64,11 +64,11 @@ func TestLeastLoadedPlacement(t *testing.T) {
 	if got := p.Pick(nil); got != "" {
 		t.Fatalf("empty candidates: got %q", got)
 	}
-	got := p.Pick([]NodeLoad{{"c", 2}, {"a", 1}, {"b", 1}})
+	got := p.Pick([]NodeLoad{{Name: "c", Segments: 2}, {Name: "a", Segments: 1}, {Name: "b", Segments: 1}})
 	if got != "a" {
 		t.Fatalf("least loaded with name tie-break: got %q want a", got)
 	}
-	got = p.Pick([]NodeLoad{{"a", 3}, {"b", 0}})
+	got = p.Pick([]NodeLoad{{Name: "a", Segments: 3}, {Name: "b", Segments: 0}})
 	if got != "b" {
 		t.Fatalf("least loaded: got %q want b", got)
 	}
@@ -76,15 +76,79 @@ func TestLeastLoadedPlacement(t *testing.T) {
 
 func TestSpreadPlacement(t *testing.T) {
 	p := &Spread{}
-	cands := []NodeLoad{{"b", 0}, {"a", 0}}
+	// The rotation position derives from the candidates' placed-segment
+	// counts, so consecutive placements rotate as the counts grow — and a
+	// coordinator restarted with the same placements picks identically.
+	cands := []NodeLoad{{Name: "b"}, {Name: "a"}}
 	if got := p.Pick(cands); got != "a" {
 		t.Fatalf("first pick: got %q want a", got)
 	}
+	if got := (&Spread{}).Pick(cands); got != "a" {
+		t.Fatalf("fresh placer diverged: determinism must come from placements, not internal state")
+	}
+	cands[1].Segments = 1 // "a" now hosts the first segment
 	if got := p.Pick(cands); got != "b" {
 		t.Fatalf("second pick: got %q want b", got)
 	}
+	cands[0].Segments = 1 // "b" hosts the second
 	if got := p.Pick(cands); got != "a" {
 		t.Fatalf("third pick wraps: got %q want a", got)
+	}
+}
+
+func TestSpreadSkipsNeighborHosts(t *testing.T) {
+	p := Spread{}
+	// Rotation would land on "a", but "a" hosts a neighbor of the segment
+	// being placed; "b" is free and must be chosen instead.
+	cands := []NodeLoad{
+		{Name: "a", Segments: 1, HostsNeighbor: true},
+		{Name: "b", Segments: 1},
+	}
+	if got := p.Pick(cands); got != "b" {
+		t.Fatalf("neighbor host not skipped: got %q want b", got)
+	}
+	// With every candidate hosting a neighbor there is nothing to skip to:
+	// fall back to the rotation slot rather than refusing to place.
+	cands[1].HostsNeighbor = true
+	if got := p.Pick(cands); got != "a" {
+		t.Fatalf("all-neighbors fallback: got %q want a", got)
+	}
+}
+
+func TestLoadAwarePlacement(t *testing.T) {
+	p := LoadAware{}
+	if got := p.Pick(nil); got != "" {
+		t.Fatalf("empty candidates: got %q", got)
+	}
+	// With no telemetry LoadAware degrades to least-loaded.
+	got := p.Pick([]NodeLoad{{Name: "b", Segments: 2}, {Name: "a", Segments: 1}})
+	if got != "a" {
+		t.Fatalf("idle cluster: got %q want a", got)
+	}
+	// A saturated near-empty node must lose to a busier idle one: this is
+	// the case where LeastLoaded picks wrong.
+	cands := []NodeLoad{
+		{Name: "starved", Segments: 1, QueueDepth: 256, QueueCap: 256, Lag: 9000},
+		{Name: "roomy", Segments: 2},
+	}
+	if got := (LeastLoaded{}).Pick(cands); got != "starved" {
+		t.Fatalf("premise broken: LeastLoaded picked %q", got)
+	}
+	if got := p.Pick(cands); got != "roomy" {
+		t.Fatalf("saturation ignored: got %q want roomy", got)
+	}
+	// Lag weighting is off by default (processed−emitted conflates a
+	// filtering segment's intentional reduction with backlog) but tips the
+	// scale when explicitly enabled for record-for-record pipelines.
+	cands = []NodeLoad{
+		{Name: "lagging", Segments: 1, Lag: 20000},
+		{Name: "fresh", Segments: 2},
+	}
+	if got := p.Pick(cands); got != "lagging" {
+		t.Fatalf("default policy weighed lag: got %q want lagging", got)
+	}
+	if got := (LoadAware{LagWeight: 1.0 / 5000}).Pick(cands); got != "fresh" {
+		t.Fatalf("explicit lag weight ignored: got %q want fresh", got)
 	}
 }
 
@@ -232,6 +296,23 @@ type fakeAgent struct {
 	// got through.
 	dropRedirects  atomic.Int32
 	redirectsAcked atomic.Int32
+	// statsMu/stats is the segment telemetry carried in heartbeats, so
+	// tests can feed the coordinator precise load pictures.
+	statsMu sync.Mutex
+	stats   []SegmentStatus
+}
+
+// setStats installs the segment telemetry future heartbeats report.
+func (f *fakeAgent) setStats(stats []SegmentStatus) {
+	f.statsMu.Lock()
+	f.stats = stats
+	f.statsMu.Unlock()
+}
+
+func (f *fakeAgent) getStats() []SegmentStatus {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	return append([]SegmentStatus(nil), f.stats...)
 }
 
 func newFakeAgent(t *testing.T, coordAddr, name, segAddr string) *fakeAgent {
@@ -280,7 +361,7 @@ func newFakeAgent(t *testing.T, coordAddr, name, segAddr string) *fakeAgent {
 			case <-f.hbStop:
 				return
 			case <-tk.C:
-				if err := f.w.send(&Message{Type: TypeHeartbeat}); err != nil {
+				if err := f.w.send(&Message{Type: TypeHeartbeat, Segments: f.getStats()}); err != nil {
 					return
 				}
 			}
@@ -718,6 +799,117 @@ func TestSegmentFailureFailover(t *testing.T) {
 	agents = map[string]*liveAgent{}
 	_ = sinkIn.Close()
 	wg.Wait()
+}
+
+// TestLoadAwareFailoverAvoidsSaturatedNode is the backpressure-aware
+// placement acceptance scenario: a failed segment must be re-placed onto
+// the least-saturated of two survivors, in a cluster where LeastLoaded
+// would have picked the saturated one.
+//
+// Topology: four segments over three nodes. Bootstrap placement (no
+// telemetry yet, LoadAware degrades to least-loaded) puts two segments on
+// n1 and one each on n2 and n3. n2 then heartbeats a saturated emit queue
+// and heavy lag while n1 reports idle telemetry; when n3 dies, its segment
+// must land on n1 — more populated but idle — not on n2, which hosts
+// fewer segments and is what segment-count placement would choose.
+func TestLoadAwareFailoverAvoidsSaturatedNode(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Spec: PipelineSpec{
+			Segments: []SegmentSpec{
+				{Name: "sa", Type: "t"}, {Name: "sb", Type: "t"},
+				{Name: "sc", Type: "t"}, {Name: "sd", Type: "t"},
+			},
+			SinkAddr: "127.0.0.1:9",
+		},
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		Placer:            LoadAware{},
+		MinNodes:          3,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	n1 := newFakeAgent(t, coord.Addr(), "n1", "127.0.0.1:19001")
+	defer n1.close()
+	n2 := newFakeAgent(t, coord.Addr(), "n2", "127.0.0.1:19002")
+	defer n2.close()
+	n3 := newFakeAgent(t, coord.Addr(), "n3", "127.0.0.1:19003")
+	defer n3.close()
+
+	waitFor(t, 5*time.Second, "bootstrap placement", func() bool {
+		placed := 0
+		for _, p := range coord.Status().Placements {
+			if p.Placed {
+				placed++
+			}
+		}
+		return placed == 4
+	})
+	byNode := func() map[string][]string {
+		out := map[string][]string{}
+		for _, p := range coord.Status().Placements {
+			if p.Placed {
+				out[p.Node] = append(out[p.Node], p.Seg)
+			}
+		}
+		return out
+	}
+	initial := byNode()
+	if len(initial["n1"]) != 2 || len(initial["n2"]) != 1 || len(initial["n3"]) != 1 {
+		t.Fatalf("unexpected bootstrap spread: %v", initial)
+	}
+	victimSeg := initial["n3"][0]
+
+	// n2 drowns: a nearly full emit queue. n1 reports healthy telemetry
+	// for both its segments.
+	n2.setStats([]SegmentStatus{{
+		Name: initial["n2"][0], Addr: "127.0.0.1:19002",
+		Processed: 60000, Emitted: 10000,
+		QueueDepth: 250, QueueCap: 256,
+	}})
+	idle := make([]SegmentStatus, 0, 2)
+	for _, seg := range initial["n1"] {
+		idle = append(idle, SegmentStatus{
+			Name: seg, Addr: "127.0.0.1:19001",
+			Processed: 60000, Emitted: 60000, QueueDepth: 0, QueueCap: 256,
+		})
+	}
+	n1.setStats(idle)
+	// Wait until the coordinator has folded in the saturated heartbeat.
+	waitFor(t, 5*time.Second, "telemetry visible to the coordinator", func() bool {
+		for _, n := range coord.Status().Nodes {
+			if n.Name == "n2" && len(n.Segments) == 1 && n.Segments[0].QueueDepth == 250 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Sanity: segment-count placement would pick the saturated node.
+	if got := (LeastLoaded{}).Pick([]NodeLoad{
+		{Name: "n1", Segments: 2},
+		{Name: "n2", Segments: 1, QueueDepth: 250, QueueCap: 256, Lag: 50000},
+	}); got != "n2" {
+		t.Fatalf("premise broken: LeastLoaded picked %q", got)
+	}
+
+	n3.close()
+	waitFor(t, 10*time.Second, "victim segment re-placed", func() bool {
+		for _, p := range coord.Status().Placements {
+			if p.Seg == victimSeg {
+				return p.Placed && p.Node != "n3"
+			}
+		}
+		return false
+	})
+	for _, p := range coord.Status().Placements {
+		if p.Seg == victimSeg && p.Node != "n1" {
+			t.Fatalf("failed segment landed on %s; load-aware placement must avoid the saturated n2", p.Node)
+		}
+	}
 }
 
 // TestRedirectRetry verifies a failed upstream redirect is retried until
