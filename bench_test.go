@@ -17,7 +17,10 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dsp"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/pipeline"
 	"repro/internal/record"
+	"repro/internal/replica"
 	"repro/internal/synth"
 	"repro/internal/timeseries"
 )
@@ -287,6 +291,78 @@ func BenchmarkStreamOutThroughput(b *testing.B) {
 		cfg.MaxRecords = 256
 		streamOutBench(b, cfg)
 	})
+}
+
+// BenchmarkMergerDedupThroughput measures the replication merger's fan-in
+// hot path over real TCP: three legs concurrently deliver the same tagged
+// record stream (batch-framed, 64-byte PCM payloads) and the merger
+// deduplicates them back to exactly-once output. ns/op is per unique
+// record delivered; records/sec counts the deduped output rate, so the
+// number is directly comparable to the streamout throughput benchmark one
+// hop upstream of it.
+func BenchmarkMergerDedupThroughput(b *testing.B) {
+	const legs = 3
+	m, err := replica.NewMerger(replica.MergerConfig{Group: "bench", ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var emitted atomic.Uint64
+	sink := pipeline.EmitterFunc(func(r *record.Record) error {
+		emitted.Add(1)
+		return nil
+	})
+	runDone := make(chan error, 1)
+	go func() { runDone <- m.Run(sink) }()
+
+	samples := make([]int16, 32) // 64-byte PCM payload
+	proto := record.NewData(record.SubtypeAudio)
+	proto.SetPCM16(samples)
+	b.SetBytes(int64(record.WireSize(proto)))
+	b.ReportAllocs()
+	b.ResetTimer()
+
+	stream := record.ReplicaStreamID("bench")
+	var wg sync.WaitGroup
+	for leg := 0; leg < legs; leg++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", m.Addr())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer conn.Close()
+			bw := record.NewBatchWriter(conn, record.DefaultBatchConfig())
+			r := record.NewData(record.SubtypeAudio)
+			r.SetPCM16(samples)
+			for i := 0; i < b.N; i++ {
+				record.TagReplica(r, stream, 1, uint64(i))
+				if err := bw.Write(r); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Minute)
+	for emitted.Load() < uint64(b.N) && !b.Failed() {
+		if time.Now().After(deadline) {
+			b.Fatalf("merger emitted %d of %d records before the deadline", emitted.Load(), b.N)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	_ = m.Close()
+	<-runDone
+	if got := emitted.Load(); got != uint64(b.N) {
+		b.Fatalf("emitted %d records, want exactly %d", got, b.N)
+	}
 }
 
 // BenchmarkBatchWriterFraming isolates the framing layer from TCP: encode

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -66,6 +67,8 @@ func main() {
 		err = runNode(os.Args[2:])
 	case "status":
 		err = runStatus(os.Args[2:])
+	case "drain":
+		err = runDrain(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -81,11 +84,14 @@ func usage() {
   dynriver station (-to HOST:PORT | -coord HOST:PORT) [-clips N] [-seed S] [-seconds SEC] [-batch N]
   dynriver segment -type extract|spectral|full -listen ADDR -to HOST:PORT
   dynriver sink -listen ADDR [-conns N]
-  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-heartbeat D] [-timeout D] [-placer POLICY]
+  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-replicas N] [-heartbeat D] [-timeout D] [-placer POLICY]
   dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N]
   dynriver status -coord HOST:PORT
+  dynriver drain -coord HOST:PORT -seg UNIT
 
-placer policies: least-loaded (default), spread, load-aware`)
+placer policies: least-loaded (default), spread, load-aware
+segments syntax: TYPE, NAME=TYPE, with an optional :N replica suffix
+(e.g. "relay:3,extract"); -replicas N applies to entries without one`)
 }
 
 // builtinRegistry exposes the acoustic pipeline's segment types to both
@@ -100,6 +106,7 @@ func builtinRegistry() *pipeline.Registry {
 		return opsList
 	})
 	reg.Register("spectral", func() []pipeline.Operator { return ops.SpectralOps(10) })
+	reg.Register("relay", func() []pipeline.Operator { return []pipeline.Operator{pipeline.Relay{}} })
 	reg.Register("full", func() []pipeline.Operator {
 		opsList, _, err := ops.ExtractionOps(ops.DefaultExtractConfig())
 		if err != nil {
@@ -146,14 +153,18 @@ func runStation(args []string) error {
 		// stream when the control plane moves the first segment. The watch
 		// session itself reconnects with backoff so a coordinator restart
 		// or network blip cannot strand the station on a stale address.
-		entryCh := make(chan string, 8)
+		type entryUpdate struct {
+			addr     string
+			boundary bool
+		}
+		entryCh := make(chan entryUpdate, 8)
 		wctx, wcancel := context.WithCancel(ctx)
 		defer wcancel()
 		go func() {
 			for {
-				err := river.WatchEntry(wctx, *coordAddr, func(a string) {
+				err := river.WatchEntryUpdates(wctx, *coordAddr, func(a string, boundary bool) {
 					select {
-					case entryCh <- a:
+					case entryCh <- entryUpdate{a, boundary}:
 					default:
 					}
 				})
@@ -170,7 +181,8 @@ func runStation(args []string) error {
 		}()
 		var entry string
 		select {
-		case entry = <-entryCh:
+		case up := <-entryCh:
+			entry = up.addr
 		case <-time.After(30 * time.Second):
 			return fmt.Errorf("station: no pipeline entry from coordinator %s after 30s", *coordAddr)
 		case <-ctx.Done():
@@ -180,8 +192,19 @@ func runStation(args []string) error {
 		go func() {
 			for {
 				select {
-				case a := <-entryCh:
-					out.Redirect(a)
+				case up := <-entryCh:
+					if up.boundary {
+						// A planned drain of the entry segment: switch at
+						// the next clip boundary so the old instance's
+						// stream ends cleanly. Run it off the watch loop —
+						// it blocks until the boundary (or 5s), and a
+						// failover update arriving meanwhile must not wait
+						// behind it (an immediate Redirect safely
+						// supersedes a pending boundary target).
+						go out.RedirectAtBoundary(up.addr, 5*time.Second)
+					} else {
+						out.Redirect(up.addr)
+					}
 				case <-ctx.Done():
 					return
 				}
@@ -272,6 +295,7 @@ func runCoord(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat interval told to nodes")
 	timeout := fs.Duration("timeout", 0, "heartbeat silence before a node is declared dead (default 4x heartbeat)")
 	minNodes := fs.Int("min-nodes", 1, "nodes required before the initial placement")
+	replicas := fs.Int("replicas", 1, "default replica count for segments without a :N suffix (>1 runs a splitter/merger pair)")
 	placerName := fs.String("placer", "least-loaded", "placement policy: least-loaded, spread or load-aware")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -296,11 +320,19 @@ func runCoord(args []string) error {
 		if part == "" {
 			continue
 		}
+		n := *replicas
+		if colon := strings.LastIndexByte(part, ':'); colon >= 0 {
+			parsed, err := strconv.Atoi(part[colon+1:])
+			if err != nil || parsed < 1 {
+				return fmt.Errorf("coord: bad replica suffix in %q", part)
+			}
+			n, part = parsed, part[:colon]
+		}
 		name, typ := fmt.Sprintf("s%d-%s", i+1, part), part
 		if eq := strings.IndexByte(part, '='); eq >= 0 {
 			name, typ = part[:eq], part[eq+1:]
 		}
-		spec.Segments = append(spec.Segments, river.SegmentSpec{Name: name, Type: typ})
+		spec.Segments = append(spec.Segments, river.SegmentSpec{Name: name, Type: typ, Replicas: n})
 	}
 	coord, err := river.NewCoordinator(river.Config{
 		ListenAddr:        *listen,
@@ -385,20 +417,50 @@ func runStatus(args []string) error {
 					state += " (" + s.Err + ")"
 				}
 			}
-			fmt.Printf("    %-12s %-10s at %-21s processed=%d emitted=%d lag=%d queue=%d/%d conns=%d repairs=%d%s\n",
+			fmt.Printf("    %-14s %-10s at %-21s processed=%d emitted=%d lag=%d queue=%d/%d conns=%d repairs=%d%s\n",
 				s.Name, "("+s.Type+")", s.Addr, s.Processed, s.Emitted, s.LagValue(), s.QueueDepth, s.QueueCap, s.Conns, s.BadCloses, state)
-			fmt.Printf("    %-12s %-10s out: records=%d batches=%d bytes=%d\n",
+			fmt.Printf("    %-14s %-10s out: records=%d batches=%d bytes=%d\n",
 				"", "", s.RecordsOut, s.BatchesOut, s.BytesOut)
+			switch s.Role {
+			case river.RoleSplit:
+				fmt.Printf("    %-14s %-10s split: legs=%d leg_drops=%d\n", "", "", s.Legs, s.LegDrops)
+			case river.RoleMerge:
+				fmt.Printf("    %-14s %-10s merge: legs=%d dups=%d skipped=%d untagged=%d\n",
+					"", "", s.Legs, s.Dups, s.Skipped, s.Untagged)
+			}
 		}
 	}
 	fmt.Printf("placements (%d):\n", len(st.Placements))
 	for _, p := range st.Placements {
+		kind := p.Type
+		if p.Role != "" && kind == "" {
+			kind = p.Role
+		}
 		if p.Placed {
-			fmt.Printf("  %-12s (%s) on %s at %s\n", p.Seg, p.Type, p.Node, p.Addr)
+			fmt.Printf("  %-14s (%s) on %s at %s\n", p.Seg, kind, p.Node, p.Addr)
 		} else {
-			fmt.Printf("  %-12s (%s) UNPLACED\n", p.Seg, p.Type)
+			fmt.Printf("  %-14s (%s) UNPLACED\n", p.Seg, kind)
 		}
 	}
+	return nil
+}
+
+// runDrain asks the coordinator for a planned zero-repair move of one
+// placement unit (a segment, or a replica like "s1-relay/r2").
+func runDrain(args []string) error {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	coordAddr := fs.String("coord", "", "coordinator address (required)")
+	seg := fs.String("seg", "", "placement unit to move (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordAddr == "" || *seg == "" {
+		return fmt.Errorf("drain: -coord and -seg are required")
+	}
+	if err := river.RequestDrain(*coordAddr, *seg, 30*time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("drained %s\n", *seg)
 	return nil
 }
 

@@ -52,6 +52,11 @@ type StreamOut struct {
 	gen        uint64 // bumped on every Redirect
 	conn       net.Conn
 	redirected chan struct{} // closed on Redirect to wake backoff waits
+	// boundaryTarget is a redirect deferred to the next top-level scope
+	// boundary (planned drain); boundaryCh is closed when it is performed
+	// or superseded so RedirectAtBoundary waiters wake.
+	boundaryTarget string
+	boundaryCh     chan struct{}
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -157,11 +162,106 @@ func (s *StreamOut) Redirect(addr string) {
 	if addr == s.addr {
 		return
 	}
+	s.switchAddrLocked(addr)
+	// An immediate redirect supersedes any pending boundary-deferred one:
+	// a failover must not be re-overridden by a stale drain target.
+	s.clearBoundaryLocked()
+}
+
+// switchAddrLocked swaps the destination address: the connection drops,
+// the generation advances, and backoff waiters wake to retry against the
+// new target. Caller holds mu and has checked addr differs.
+func (s *StreamOut) switchAddrLocked(addr string) {
 	s.addr = addr
 	s.gen++
 	s.dropConnLocked()
 	close(s.redirected)
 	s.redirected = make(chan struct{})
+}
+
+// RedirectAtBoundary registers a redirect that is performed when the next
+// top-level scope close passes through Consume — the drain primitive:
+// the old destination receives a structurally complete stream (its last
+// record closes the outermost scope), so the hop can be severed without
+// any scope repair downstream. The call blocks until the boundary
+// redirect happens or wait elapses; on timeout it falls back to an
+// immediate Redirect so a drain cannot stall forever on a boundary-free
+// stream. It reports whether the switch happened at a boundary.
+func (s *StreamOut) RedirectAtBoundary(addr string, wait time.Duration) bool {
+	s.mu.Lock()
+	if addr == s.addr {
+		s.clearBoundaryLocked()
+		s.mu.Unlock()
+		return true
+	}
+	s.boundaryTarget = addr
+	if s.boundaryCh == nil {
+		s.boundaryCh = make(chan struct{})
+	}
+	ch := s.boundaryCh
+	s.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		// Performed — or superseded by an immediate Redirect; either way
+		// report whether we ended up at the requested address.
+		s.mu.Lock()
+		done := s.addr == addr
+		s.mu.Unlock()
+		return done
+	case <-s.ctx.Done():
+		return false
+	case <-timer.C:
+	}
+	s.mu.Lock()
+	stale := s.boundaryTarget != addr
+	s.mu.Unlock()
+	if stale {
+		return false
+	}
+	s.Redirect(addr)
+	return false
+}
+
+// maybeBoundaryRedirect performs a pending boundary-deferred redirect if r
+// closes the outermost scope. The pending batch (which ends with r) is
+// force-flushed to the old destination first so nothing is owed across
+// the switch. Caller holds writeMu.
+func (s *StreamOut) maybeBoundaryRedirect(r *record.Record) {
+	if !r.Kind.IsClose() || r.Scope != 0 {
+		return
+	}
+	s.mu.Lock()
+	target := s.boundaryTarget
+	s.mu.Unlock()
+	if target == "" {
+		return
+	}
+	// One bounded delivery attempt (dialling if needed: a drain hands off
+	// to a live destination, unlike a failover). On failure the batch
+	// stays pending and rides to the new address.
+	s.forceFlushLocked(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.boundaryTarget != target {
+		return
+	}
+	if target != s.addr {
+		s.switchAddrLocked(target)
+	}
+	s.clearBoundaryLocked()
+}
+
+// clearBoundaryLocked drops any pending boundary redirect and wakes its
+// waiters. Caller holds mu.
+func (s *StreamOut) clearBoundaryLocked() {
+	s.boundaryTarget = ""
+	if s.boundaryCh != nil {
+		close(s.boundaryCh)
+		s.boundaryCh = nil
+	}
 }
 
 // forceFlushLocked makes one deadline-bounded attempt to deliver the
@@ -220,13 +320,14 @@ func (s *StreamOut) Consume(r *record.Record) error {
 	if err := s.bw.Add(r); err != nil {
 		return err
 	}
+	var err error
 	if s.bw.ShouldFlush() {
-		return s.flushLocked()
-	}
-	if s.maxDelay > 0 {
+		err = s.flushLocked()
+	} else if s.maxDelay > 0 {
 		s.armFlushTimer(s.maxDelay)
 	}
-	return nil
+	s.maybeBoundaryRedirect(r)
+	return err
 }
 
 // Flush delivers any pending batch now, retrying until it lands or the
@@ -435,6 +536,11 @@ func NewStreamIn(addr string) (*StreamIn, error) {
 
 // Name implements Source.
 func (s *StreamIn) Name() string { return "streamin(" + s.Addr() + ")" }
+
+// PreservesSeq implements SeqPreserver: records arriving over the wire
+// already carry their producer's sequencing (including replication tags),
+// which must survive the hop rather than being restamped.
+func (s *StreamIn) PreservesSeq() bool { return true }
 
 // Addr returns the bound listen address.
 func (s *StreamIn) Addr() string { return s.ln.Addr().String() }

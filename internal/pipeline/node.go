@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/record"
 )
@@ -78,13 +79,48 @@ type Node struct {
 	hosted map[string]*hostedSegment
 }
 
+// hostedSegment is one running source→segment→sink unit. Plain segments
+// pair a StreamIn with a StreamOut; replication endpoints substitute a
+// splitter sink or merger source, so src and sink are held by interface
+// and the optional capabilities (address, counters, redirect) are
+// discovered by assertion.
 type hostedSegment struct {
+	role   string // "" plain, "split", "merge"
 	seg    *Segment
-	in     *StreamIn
-	out    *StreamOut
+	src    Source
+	sink   Sink
 	cancel context.CancelFunc
 	done   chan struct{}
 	err    error
+}
+
+// Optional capabilities of hosted sources and sinks, discovered by
+// assertion so the node can host any endpoint shape uniformly.
+type (
+	addrProvider interface{ Addr() string }
+	ingressStats interface {
+		Connections() uint64
+		BadCloses() uint64
+	}
+	queueStats  interface{ QueueDepth() (int, int) }
+	egressStats interface {
+		RecordsOut() uint64
+		BatchesOut() uint64
+		BytesOut() uint64
+	}
+	redirectSink interface{ Redirect(addr string) }
+	boundarySink interface {
+		RedirectAtBoundary(addr string, wait time.Duration) bool
+	}
+	legSink interface{ SetLegs(addrs []string) }
+	closer  interface{ Close() error }
+)
+
+// EndpointStatser lets a hosted source or sink contribute role-specific
+// telemetry (replication legs, dedup counters) to its SegmentStats
+// snapshot.
+type EndpointStatser interface {
+	FillStats(s *SegmentStats)
 }
 
 // NewNode returns a node that instantiates segments from reg. Hosted
@@ -130,33 +166,50 @@ func (n *Node) Host(segName, segType, listenAddr, downstreamAddr string) (string
 	}
 	in.QueueSize = n.QueueSize
 	out := NewStreamOutBatched(downstreamAddr, n.FlushPolicy)
-	seg := NewSegment(segName, ops...)
+	if err := n.HostUnit(segName, "", in, NewSegment(segName, ops...), out); err != nil {
+		return "", err
+	}
+	return in.Addr(), nil
+}
 
+// HostUnit hosts an arbitrary source → segment → sink unit under name —
+// the entry point the replication subsystem uses to run splitter and
+// merger endpoints on a node with the same lifecycle, stats and control
+// verbs as ordinary segments. role tags the unit in stats ("" for plain
+// segments). The source and sink are closed when the unit stops.
+func (n *Node) HostUnit(name, role string, src Source, seg *Segment, sink Sink) error {
 	ctx, cancel := context.WithCancel(context.Background())
-	h := &hostedSegment{seg: seg, in: in, out: out, cancel: cancel, done: make(chan struct{})}
+	h := &hostedSegment{role: role, seg: seg, src: src, sink: sink,
+		cancel: cancel, done: make(chan struct{})}
 
 	n.mu.Lock()
-	if _, exists := n.hosted[segName]; exists {
+	if _, exists := n.hosted[name]; exists {
 		n.mu.Unlock()
 		cancel()
-		_ = in.Close()
-		_ = out.Close()
-		return "", fmt.Errorf("pipeline: node %s already hosts %q", n.name, segName)
+		closeEndpoint(src)
+		closeEndpoint(sink)
+		return fmt.Errorf("pipeline: node %s already hosts %q", n.name, name)
 	}
-	n.hosted[segName] = h
+	n.hosted[name] = h
 	n.mu.Unlock()
 
 	go func() {
 		defer close(h.done)
-		p := New().SetSource(in).Append(seg).SetSink(out)
+		p := New().SetSource(src).Append(seg).SetSink(sink)
 		err := p.Run(ctx)
 		if err != nil && !errors.Is(err, ErrStopped) && !errors.Is(err, context.Canceled) {
 			h.err = err
 		}
-		_ = in.Close()
-		_ = out.Close()
+		closeEndpoint(src)
+		closeEndpoint(sink)
 	}()
-	return in.Addr(), nil
+	return nil
+}
+
+func closeEndpoint(v any) {
+	if c, ok := v.(closer); ok {
+		_ = c.Close()
+	}
 }
 
 // Addr returns the listen address of a hosted segment.
@@ -167,7 +220,10 @@ func (n *Node) Addr(segName string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
 	}
-	return h.in.Addr(), nil
+	if ap, ok := h.src.(addrProvider); ok {
+		return ap.Addr(), nil
+	}
+	return "", fmt.Errorf("pipeline: segment %q has no listen address", segName)
 }
 
 // Segment returns the hosted segment instance (for stats inspection).
@@ -205,6 +261,22 @@ type SegmentStats struct {
 	RecordsOut uint64
 	BatchesOut uint64
 	BytesOut   uint64
+	// Role marks replication endpoints ("split", "merge"); empty for
+	// ordinary segments. The remaining counters are role-specific.
+	Role string
+	// Legs is a splitter's live fan-out legs, or a merger's live upstream
+	// connections.
+	Legs int
+	// LegDrops counts records a splitter dropped toward a saturated or
+	// dead leg (the other replicas still carried them).
+	LegDrops uint64
+	// Dups counts duplicate replica copies a merger discarded; Skipped
+	// counts records lost across an all-leg failure (the merger skipped
+	// the gap to keep the stream flowing); Untagged counts records
+	// discarded for carrying no usable replication tag.
+	Dups     uint64
+	Skipped  uint64
+	Untagged uint64
 	// Failed reports that the segment's pipeline exited on its own — an
 	// operator error, not a Stop — and the instance is no longer
 	// processing; Err carries the cause. A control plane treats this as
@@ -220,20 +292,35 @@ func (n *Node) Stats() []SegmentStats {
 	out := make([]SegmentStats, 0, len(n.hosted))
 	for name, h := range n.hosted {
 		s := SegmentStats{
-			Name:       name,
-			Addr:       h.in.Addr(),
-			Processed:  h.seg.Processed(),
-			Emitted:    h.seg.Emitted(),
-			Conns:      h.in.Connections(),
-			BadCloses:  h.in.BadCloses(),
-			RecordsOut: h.out.RecordsOut(),
-			BatchesOut: h.out.BatchesOut(),
-			BytesOut:   h.out.BytesOut(),
+			Name:      name,
+			Role:      h.role,
+			Processed: h.seg.Processed(),
+			Emitted:   h.seg.Emitted(),
+		}
+		if ap, ok := h.src.(addrProvider); ok {
+			s.Addr = ap.Addr()
+		}
+		if is, ok := h.src.(ingressStats); ok {
+			s.Conns = is.Connections()
+			s.BadCloses = is.BadCloses()
+		}
+		if qs, ok := h.src.(queueStats); ok {
+			s.QueueDepth, s.QueueCap = qs.QueueDepth()
+		}
+		if es, ok := h.sink.(egressStats); ok {
+			s.RecordsOut = es.RecordsOut()
+			s.BatchesOut = es.BatchesOut()
+			s.BytesOut = es.BytesOut()
 		}
 		if p, e := s.Processed, s.Emitted; p > e {
 			s.Lag = p - e
 		}
-		s.QueueDepth, s.QueueCap = h.in.QueueDepth()
+		if fs, ok := h.src.(EndpointStatser); ok {
+			fs.FillStats(&s)
+		}
+		if fs, ok := h.sink.(EndpointStatser); ok {
+			fs.FillStats(&s)
+		}
 		select {
 		case <-h.done:
 			// Still in the hosted map but its pipeline has exited: the
@@ -260,7 +347,47 @@ func (n *Node) Redirect(segName, downstreamAddr string) error {
 	if !ok {
 		return fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
 	}
-	h.out.Redirect(downstreamAddr)
+	rs, ok := h.sink.(redirectSink)
+	if !ok {
+		return fmt.Errorf("pipeline: segment %q sink is not redirectable", segName)
+	}
+	rs.Redirect(downstreamAddr)
+	return nil
+}
+
+// RedirectAtBoundary switches a hosted segment's downstream at the next
+// top-level scope boundary (the planned-drain splice), waiting up to wait
+// before falling back to an immediate redirect. It reports whether the
+// switch happened at a boundary.
+func (n *Node) RedirectAtBoundary(segName, downstreamAddr string, wait time.Duration) (bool, error) {
+	n.mu.Lock()
+	h, ok := n.hosted[segName]
+	n.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
+	}
+	bs, ok := h.sink.(boundarySink)
+	if !ok {
+		return false, fmt.Errorf("pipeline: segment %q sink cannot redirect at a boundary", segName)
+	}
+	return bs.RedirectAtBoundary(downstreamAddr, wait), nil
+}
+
+// SetLegs replaces the fan-out leg set of a hosted replication splitter.
+// The control plane uses it to drop a dead replica's leg and splice a
+// re-placed one in without touching the upstream stream.
+func (n *Node) SetLegs(segName string, addrs []string) error {
+	n.mu.Lock()
+	h, ok := n.hosted[segName]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
+	}
+	ls, ok := h.sink.(legSink)
+	if !ok {
+		return fmt.Errorf("pipeline: segment %q is not a splitter", segName)
+	}
+	ls.SetLegs(addrs)
 	return nil
 }
 
@@ -278,12 +405,12 @@ func (n *Node) Stop(segName string) error {
 	if !ok {
 		return fmt.Errorf("pipeline: node %s does not host %q", n.name, segName)
 	}
-	_ = h.in.Close()
+	closeEndpoint(h.src)
 	h.cancel()
-	// Close the streamout too: a sink goroutine stuck redialling an
+	// Close the sink too: a sink goroutine stuck redialling an
 	// unreachable downstream only watches the StreamOut's own context, so
 	// without this the pipeline never unwinds and Stop hangs.
-	_ = h.out.Close()
+	closeEndpoint(h.sink)
 	<-h.done
 	return h.err
 }

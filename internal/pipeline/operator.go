@@ -47,6 +47,18 @@ type Flusher interface {
 	Flush(out Emitter) error
 }
 
+// Relay is the identity operator: every record passes through unchanged.
+// It is the segment body used when a hop exists for placement or
+// replication reasons rather than processing — a replicated transport
+// leg, a control-plane test chain.
+type Relay struct{}
+
+// Name implements Operator.
+func (Relay) Name() string { return "relay" }
+
+// Process implements Operator by forwarding the record untouched.
+func (Relay) Process(r *record.Record, out Emitter) error { return out.Emit(r) }
+
 // Source produces the records that feed a pipeline. Run must emit records
 // until the stream is exhausted or emission fails, then return. A Source
 // should return promptly with the emission error when Emit fails (the
@@ -54,6 +66,15 @@ type Flusher interface {
 type Source interface {
 	Name() string
 	Run(out Emitter) error
+}
+
+// SeqPreserver marks a Source whose records arrive already sequenced by an
+// upstream pipeline. Pipeline.Run stamps fresh Seq numbers onto records
+// from ordinary sources; a preserving source's records keep their Seq and
+// SourceID intact, which is what lets a replication splitter's tags
+// survive the hop through a relay host (streamin, the replica merger).
+type SeqPreserver interface {
+	PreservesSeq() bool
 }
 
 // SourceFunc adapts a function to the Source interface.

@@ -219,15 +219,23 @@ func (p *Pipeline) Run(parent context.Context) error {
 		})
 	}
 
-	// Source stage: stamps sequence numbers.
+	// Source stage: stamps sequence numbers — unless the source relays
+	// records that were already sequenced upstream (a streamin feeding a
+	// replica leg must preserve the splitter's tags).
+	preserve := false
+	if sp, ok := p.source.(SeqPreserver); ok {
+		preserve = sp.PreservesSeq()
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(chans[0])
 		var seq uint64
 		emit := EmitterFunc(func(r *record.Record) error {
-			r.Seq = seq
-			seq++
+			if !preserve {
+				r.Seq = seq
+				seq++
+			}
 			return sendCtx(ctx, chans[0], r)
 		})
 		fail(p.source.Run(emit))

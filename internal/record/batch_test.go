@@ -245,3 +245,91 @@ func TestPerRecordConfigFlushesEveryWrite(t *testing.T) {
 		t.Errorf("per-record config issued %d writes for 3 records", cw.writes)
 	}
 }
+
+// failingThenOKWriter fails its first n Writes, then succeeds — the shape
+// of a streamout whose downstream moved mid-batch.
+type failingThenOKWriter struct {
+	fails  int
+	writes int
+	buf    bytes.Buffer
+}
+
+func (f *failingThenOKWriter) Write(p []byte) (int, error) {
+	if f.fails > 0 {
+		f.fails--
+		return 0, errors.New("transient")
+	}
+	f.writes++
+	return f.buf.Write(p)
+}
+
+// TestBatchWriterControlInterleaving covers forced flushes interleaved
+// with control records: a control record added behind buffered data must
+// flush the whole batch — data first, control last, in order — and a
+// failed forced flush must keep the batch (control included) intact for
+// the retry, so a control record can never be reordered past data or
+// lost to a transient output error.
+func TestBatchWriterControlInterleaving(t *testing.T) {
+	out := &failingThenOKWriter{fails: 1}
+	bw := NewBatchWriter(out, BatchConfig{MaxRecords: 100, FlushOnControl: true})
+	for i := 0; i < 3; i++ {
+		if err := bw.Write(batchData(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.writes != 0 {
+		t.Fatalf("data-only batch flushed early: %d writes", out.writes)
+	}
+	ctl := &Record{Kind: KindControl}
+	if err := bw.Add(ctl); err != nil {
+		t.Fatal(err)
+	}
+	if !bw.ShouldFlush() {
+		t.Fatal("control record did not force a flush")
+	}
+	// First flush attempt hits the transient failure: the batch must
+	// survive untouched.
+	if err := bw.Flush(); err == nil {
+		t.Fatal("flush against failing output succeeded")
+	}
+	if bw.Pending() != 4 {
+		t.Fatalf("failed flush dropped records: pending=%d, want 4", bw.Pending())
+	}
+	if !bw.ShouldFlush() {
+		t.Fatal("force flag lost across a failed flush")
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if out.writes != 1 {
+		t.Fatalf("retried flush issued %d writes, want 1", out.writes)
+	}
+	recs := readAll(t, out.buf.Bytes())
+	if len(recs) != 4 {
+		t.Fatalf("decoded %d records, want 4", len(recs))
+	}
+	for i, r := range recs[:3] {
+		if r.Kind != KindData {
+			t.Errorf("record %d: %v, want Data", i, r.Kind)
+		}
+	}
+	if recs[3].Kind != KindControl {
+		t.Errorf("last record %v, want Control — control must not pass data", recs[3].Kind)
+	}
+	// More data after the forced flush starts a fresh batch with the
+	// force flag cleared.
+	if err := bw.Write(batchData(9)); err != nil {
+		t.Fatal(err)
+	}
+	if bw.ShouldFlush() {
+		t.Error("force flag leaked into the next batch")
+	}
+	// With FlushOnControl disabled a control record buffers like data.
+	quiet := NewBatchWriter(&bytes.Buffer{}, BatchConfig{MaxRecords: 100})
+	if err := quiet.Add(&Record{Kind: KindControl}); err != nil {
+		t.Fatal(err)
+	}
+	if quiet.ShouldFlush() {
+		t.Error("control forced a flush with FlushOnControl disabled")
+	}
+}

@@ -1,0 +1,54 @@
+package record
+
+import "hash/fnv"
+
+// Replicated-segment sequence annotation.
+//
+// A replication splitter tags every record it fans out with a stream
+// identity and a monotonically increasing sequence number so the merger at
+// the other end can deduplicate the N replica copies back into
+// exactly-once output. The annotation rides entirely in the existing Seq
+// and SourceID wire fields — SourceID carries the replication stream
+// identity, Seq packs a 16-bit splitter epoch above a 48-bit counter — so
+// tagged records are wire-compatible with every existing reader: a
+// consumer that knows nothing about replication just sees ordinary
+// sequence numbers.
+
+// ReplicaSeqBits is the width of the per-epoch counter packed into the low
+// bits of Seq; the splitter epoch occupies the 16 bits above it.
+const ReplicaSeqBits = 48
+
+// replicaSeqMask masks the counter portion of a packed Seq.
+const replicaSeqMask = (uint64(1) << ReplicaSeqBits) - 1
+
+// ReplicaStreamID derives the stable, nonzero stream identity of a
+// replicated segment group from its name. Splitter and merger derive it
+// independently, so only records tagged by the group's own splitter are
+// eligible for dedup at its merger; anything else (scope repairs a dying
+// replica leg synthesized for itself, a misrouted stream) reads as
+// untagged and is discarded there.
+func ReplicaStreamID(group string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte("replica:" + group))
+	if id := h.Sum32(); id != 0 {
+		return id
+	}
+	return 1
+}
+
+// TagReplica annotates r as record n of the given replication stream and
+// splitter epoch, overwriting Seq and SourceID. n wraps at 2^48, far
+// beyond any stream a single splitter incarnation produces.
+func TagReplica(r *Record, stream uint32, epoch uint16, n uint64) {
+	r.SourceID = stream
+	r.Seq = uint64(epoch)<<ReplicaSeqBits | (n & replicaSeqMask)
+}
+
+// ReplicaTag extracts the replication annotation from r. ok is false when
+// r does not carry a tag for the given stream.
+func ReplicaTag(r *Record, stream uint32) (epoch uint16, n uint64, ok bool) {
+	if stream == 0 || r.SourceID != stream {
+		return 0, 0, false
+	}
+	return uint16(r.Seq >> ReplicaSeqBits), r.Seq & replicaSeqMask, true
+}

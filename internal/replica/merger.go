@@ -1,0 +1,361 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/record"
+)
+
+// DefaultWindow is the default reorder window: how many out-of-order
+// records a merger buffers before concluding that the gap at the head
+// will never be filled (every leg that carried it died) and skipping
+// forward.
+const DefaultWindow = 1024
+
+// MergerConfig parameterizes a Merger.
+type MergerConfig struct {
+	// Group names the replicated segment group (stream identity).
+	Group string
+	// ListenAddr is the listen address replica legs dial ("host:0" for
+	// ephemeral).
+	ListenAddr string
+	// Window bounds the reorder buffer (default DefaultWindow).
+	Window int
+}
+
+// Merger is a pipeline.Source that accepts the N replica legs of a
+// replicated segment concurrently and emits their union downstream
+// exactly once: records are deduplicated by the splitter's sequence
+// annotation, reordered within a bounded window, and validated against
+// the output scope structure so that even a gap skipped after an all-leg
+// failure leaves downstream consumers with a structurally valid stream
+// (the merger closes the scopes the gap orphaned, exactly like the
+// streamin repair path).
+//
+// Untagged records are discarded: the scope repairs a dying replica's
+// streamin synthesizes for its own severed leg carry no tag, and
+// swallowing them here is precisely what makes a replica death invisible
+// downstream.
+type Merger struct {
+	group  string
+	stream uint32
+	window int
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Telemetry is atomic so stats snapshots (heartbeats) never block
+	// behind an in-flight Emit holding mu.
+	conns    atomic.Uint64 // cumulative accepted legs
+	live     atomic.Int64  // currently connected legs
+	depth    atomic.Int64  // reorder-window occupancy
+	dups     atomic.Uint64
+	skipped  atomic.Uint64
+	untagged atomic.Uint64
+	repairs  atomic.Uint64
+
+	mu        sync.Mutex // guards the dedup state below
+	epoch     uint16
+	haveEpoch bool
+	next      uint64
+	pending   map[uint64]*record.Record
+	tracker   *record.Tracker // output scope structure
+	emitErr   error
+}
+
+// NewMerger binds the merger's listener.
+func NewMerger(cfg MergerConfig) (*Merger, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("replica: merger listen %s: %w", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Merger{
+		group:   cfg.Group,
+		stream:  record.ReplicaStreamID(cfg.Group),
+		window:  cfg.Window,
+		ln:      ln,
+		ctx:     ctx,
+		cancel:  cancel,
+		pending: make(map[uint64]*record.Record),
+		tracker: record.NewTracker(),
+	}, nil
+}
+
+// Name implements pipeline.Source.
+func (m *Merger) Name() string { return "merge(" + m.group + ")" }
+
+// Addr returns the bound listen address replica legs dial.
+func (m *Merger) Addr() string { return m.ln.Addr().String() }
+
+// PreservesSeq implements pipeline.SeqPreserver: emitted records keep
+// their replication tags, so a downstream hop can still observe them.
+func (m *Merger) PreservesSeq() bool { return true }
+
+// Connections returns the cumulative number of legs served.
+func (m *Merger) Connections() uint64 { return m.conns.Load() }
+
+// BadCloses returns the number of BadCloseScope repairs the merger
+// emitted (after gap skips and epoch changes).
+func (m *Merger) BadCloses() uint64 { return m.repairs.Load() }
+
+// Dups returns the duplicate replica copies discarded.
+func (m *Merger) Dups() uint64 { return m.dups.Load() }
+
+// Skipped returns the records lost to gap skips (every leg carrying them
+// died before delivering).
+func (m *Merger) Skipped() uint64 { return m.skipped.Load() }
+
+// Untagged returns the records discarded for carrying no usable
+// replication tag (typically single-leg scope repairs) or for being
+// structurally unemittable after a skip.
+func (m *Merger) Untagged() uint64 { return m.untagged.Load() }
+
+// QueueDepth reports the reorder-window occupancy against its bound —
+// the merger's saturation gauge for load-aware placement.
+func (m *Merger) QueueDepth() (depth, capacity int) {
+	return int(m.depth.Load()), m.window
+}
+
+// FillStats implements pipeline.EndpointStatser.
+func (m *Merger) FillStats(st *pipeline.SegmentStats) {
+	st.Role = "merge"
+	st.Legs = int(m.live.Load())
+	st.Dups = m.dups.Load()
+	st.Skipped = m.skipped.Load()
+	st.Untagged = m.untagged.Load()
+}
+
+// Close stops the merger: the listener closes and Run returns after the
+// live legs unwind.
+func (m *Merger) Close() error {
+	m.cancel()
+	return m.ln.Close()
+}
+
+// Run implements pipeline.Source: serve replica legs concurrently until
+// Close (or a downstream emission failure), then flush what the reorder
+// window still holds — in order, counting unfillable gaps as skipped —
+// and close any scopes left open so the downstream stream ends balanced.
+func (m *Merger) Run(out pipeline.Emitter) error {
+	var wg sync.WaitGroup
+	backoff := 10 * time.Millisecond
+	const maxAcceptBackoff = time.Second
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			if m.ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				break
+			}
+			// Transient (EMFILE, ECONNABORTED, ...): the merger is the
+			// group's single fan-in point, so back off and keep serving
+			// rather than tearing the whole replica group down.
+			select {
+			case <-m.ctx.Done():
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			continue
+		}
+		backoff = 10 * time.Millisecond
+		m.conns.Add(1)
+		m.live.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.serveLeg(conn, out)
+			m.live.Add(-1)
+		}()
+	}
+	wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finishLocked(out)
+	if m.emitErr != nil {
+		return m.emitErr
+	}
+	return nil
+}
+
+// serveLeg drains one replica connection into the dedup core.
+func (m *Merger) serveLeg(conn net.Conn, out pipeline.Emitter) {
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-m.ctx.Done():
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
+	rd := record.NewReaderSize(conn, record.DefaultMaxBatchBytes)
+	for {
+		rec, err := rd.Read()
+		if err != nil {
+			return
+		}
+		if err := m.ingest(rec, out); err != nil {
+			// Downstream failed: stop the whole source so the hosted
+			// pipeline unwinds with the emission error.
+			m.mu.Lock()
+			if m.emitErr == nil {
+				m.emitErr = err
+			}
+			m.mu.Unlock()
+			_ = m.Close()
+			return
+		}
+	}
+}
+
+// ingest runs one record through dedup and in-order emission. All state
+// is under mu; Emit happens under mu too, which serializes downstream
+// emission across legs (and propagates backpressure to every leg, which
+// is correct — they all carry the same stream).
+func (m *Merger) ingest(r *record.Record, out pipeline.Emitter) error {
+	epoch, n, ok := record.ReplicaTag(r, m.stream)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !ok {
+		m.untagged.Add(1)
+		return nil
+	}
+	switch {
+	case !m.haveEpoch || epoch > m.epoch:
+		// A new splitter incarnation (or the first record ever): abandon
+		// whatever the old epoch still owed, repair the seam, and
+		// resynchronize at the first record observed of the new epoch.
+		if m.haveEpoch {
+			if err := m.repairLocked(out); err != nil {
+				return err
+			}
+		}
+		m.epoch, m.haveEpoch = epoch, true
+		m.next = n
+		m.pending = make(map[uint64]*record.Record)
+		m.depth.Store(0)
+	case epoch < m.epoch:
+		// A stale leg still relaying the old splitter's stream.
+		m.dups.Add(1)
+		return nil
+	}
+	switch {
+	case n < m.next:
+		m.dups.Add(1)
+		return nil
+	case n > m.next:
+		if _, dup := m.pending[n]; dup {
+			m.dups.Add(1)
+			return nil
+		}
+		m.pending[n] = r
+		m.depth.Store(int64(len(m.pending)))
+		if len(m.pending) <= m.window {
+			return nil
+		}
+		// The window is saturated behind a gap no live leg will fill:
+		// every replica that carried [next, lo) is gone. Skip forward so
+		// the stream keeps flowing, and repair the scope structure across
+		// the hole.
+		lo := m.minPendingLocked()
+		m.skipped.Add(lo - m.next)
+		m.next = lo
+		if err := m.repairLocked(out); err != nil {
+			return err
+		}
+	default: // n == m.next
+		if err := m.emitLocked(r, out); err != nil {
+			return err
+		}
+		m.next++
+	}
+	return m.drainLocked(out)
+}
+
+// drainLocked emits consecutively buffered records starting at next.
+func (m *Merger) drainLocked(out pipeline.Emitter) error {
+	for {
+		r, ok := m.pending[m.next]
+		if !ok {
+			return nil
+		}
+		delete(m.pending, m.next)
+		m.depth.Store(int64(len(m.pending)))
+		if err := m.emitLocked(r, out); err != nil {
+			return err
+		}
+		m.next++
+	}
+}
+
+// emitLocked validates a record against the output scope structure and
+// emits it. Records a skip left structurally invalid (a close whose open
+// fell into the gap) are discarded — downstream must only ever see a
+// well-formed stream.
+func (m *Merger) emitLocked(r *record.Record, out pipeline.Emitter) error {
+	if err := m.tracker.Observe(r); err != nil {
+		m.untagged.Add(1)
+		return nil
+	}
+	return out.Emit(r)
+}
+
+// repairLocked closes every open output scope with BadCloseScope records,
+// the same resynchronization contract streamin uses.
+func (m *Merger) repairLocked(out pipeline.Emitter) error {
+	for _, bc := range m.tracker.CloseAll() {
+		m.repairs.Add(1)
+		if err := out.Emit(bc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishLocked drains the window in order at shutdown, counting gaps as
+// skipped, then balances the output stream.
+func (m *Merger) finishLocked(out pipeline.Emitter) {
+	if m.emitErr != nil {
+		return
+	}
+	for len(m.pending) > 0 {
+		lo := m.minPendingLocked()
+		if lo > m.next {
+			m.skipped.Add(lo - m.next)
+			m.next = lo
+		}
+		if m.drainLocked(out) != nil {
+			return
+		}
+	}
+	_ = m.repairLocked(out)
+}
+
+func (m *Merger) minPendingLocked() uint64 {
+	var lo uint64
+	first := true
+	for n := range m.pending {
+		if first || n < lo {
+			lo, first = n, false
+		}
+	}
+	return lo
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/pipeline"
+	"repro/internal/replica"
 )
 
 // Agent is the node-side half of the control plane. It registers with a
@@ -26,6 +27,11 @@ type Agent struct {
 	// Heartbeat is the beat interval used until the coordinator's
 	// register ack overrides it (default 250ms).
 	Heartbeat time.Duration
+	// DrainWindow bounds how long a boundary-deferred redirect (planned
+	// drain) waits for a top-level scope boundary before falling back to
+	// an immediate redirect (default 3s; must stay inside the
+	// coordinator's RPCTimeout).
+	DrainWindow time.Duration
 	// Logf, when set, receives agent event logs.
 	Logf func(format string, args ...any)
 
@@ -37,12 +43,13 @@ type Agent struct {
 // coordAddr, instantiating segments from reg.
 func NewAgent(name, coordAddr string, reg *pipeline.Registry) *Agent {
 	return &Agent{
-		name:       name,
-		coordAddr:  coordAddr,
-		node:       pipeline.NewNode(name, reg),
-		ListenHost: "127.0.0.1",
-		Heartbeat:  250 * time.Millisecond,
-		types:      make(map[string]string),
+		name:        name,
+		coordAddr:   coordAddr,
+		node:        pipeline.NewNode(name, reg),
+		ListenHost:  "127.0.0.1",
+		Heartbeat:   250 * time.Millisecond,
+		DrainWindow: 3 * time.Second,
+		types:       make(map[string]string),
 	}
 }
 
@@ -113,8 +120,29 @@ func (a *Agent) Run(ctx context.Context) error {
 		case TypeAssign:
 			a.handleAssign(w, msg)
 		case TypeRedirect:
+			if msg.Boundary {
+				// A planned drain: wait (off the control loop, so
+				// heartbeat-paced commands keep flowing) for the splice to
+				// land at a scope boundary before acking, so the
+				// coordinator knows the old instance's stream has ended
+				// cleanly when it proceeds to stop it.
+				go func(msg *Message) {
+					atBoundary, err := a.node.RedirectAtBoundary(msg.Seg, msg.Downstream, a.DrainWindow)
+					a.reply(w, msg.ID, err, "")
+					if err == nil {
+						a.logf("segment %s drained to %s (boundary=%v)", msg.Seg, msg.Downstream, atBoundary)
+					}
+				}(msg)
+				continue
+			}
 			a.reply(w, msg.ID, a.node.Redirect(msg.Seg, msg.Downstream), "")
 			a.logf("segment %s redirected to %s", msg.Seg, msg.Downstream)
+		case TypeLegs:
+			err := a.node.SetLegs(msg.Seg, msg.Downstreams)
+			a.reply(w, msg.ID, err, "")
+			if err == nil {
+				a.logf("splitter %s legs now %v", msg.Seg, msg.Downstreams)
+			}
 		case TypeStop:
 			err := a.stopSegment(msg.Seg)
 			a.reply(w, msg.ID, err, "")
@@ -125,8 +153,9 @@ func (a *Agent) Run(ctx context.Context) error {
 	}
 }
 
-// handleAssign hosts (or re-hosts) a segment and acks with the bound
-// listen address the upstream neighbor should dial.
+// handleAssign hosts (or re-hosts) a segment, a replication splitter or a
+// merger per the message role, and acks with the bound listen address the
+// upstream neighbor should dial.
 func (a *Agent) handleAssign(w *wire, msg *Message) {
 	// A re-assign of a name we already host replaces the instance, so a
 	// coordinator retrying after a lost ack converges instead of erroring.
@@ -136,16 +165,66 @@ func (a *Agent) handleAssign(w *wire, msg *Message) {
 	if exists {
 		_ = a.stopSegment(msg.Seg)
 	}
-	addr, err := a.node.Host(msg.Seg, msg.SegType, net.JoinHostPort(a.ListenHost, "0"), msg.Downstream)
+	var addr string
+	var err error
+	switch msg.Role {
+	case RoleSplit:
+		addr, err = a.hostSplitter(msg)
+	case RoleMerge:
+		addr, err = a.hostMerger(msg)
+	default:
+		addr, err = a.node.Host(msg.Seg, msg.SegType, net.JoinHostPort(a.ListenHost, "0"), msg.Downstream)
+	}
 	if err != nil {
 		a.reply(w, msg.ID, err, "")
 		return
 	}
+	typ := msg.SegType
+	if msg.Role != "" {
+		typ = msg.Role
+	}
 	a.mu.Lock()
-	a.types[msg.Seg] = msg.SegType
+	a.types[msg.Seg] = typ
 	a.mu.Unlock()
 	a.reply(w, msg.ID, nil, addr)
-	a.logf("hosting %s (%s) at %s -> %s", msg.Seg, msg.SegType, addr, msg.Downstream)
+	a.logf("hosting %s (%s) at %s -> %s%v", msg.Seg, typ, addr, msg.Downstream, msg.Downstreams)
+}
+
+// hostSplitter runs a replication splitter: a streamin front tagging into
+// a fan-out sink over the node's batched transport.
+func (a *Agent) hostSplitter(msg *Message) (string, error) {
+	in, err := pipeline.NewStreamIn(net.JoinHostPort(a.ListenHost, "0"))
+	if err != nil {
+		return "", err
+	}
+	in.QueueSize = a.node.QueueSize
+	split := replica.NewSplitter(replica.SplitterConfig{
+		Group: msg.Group,
+		Epoch: msg.Epoch,
+		Legs:  msg.Downstreams,
+		Flush: a.node.FlushPolicy,
+	})
+	if err := a.node.HostUnit(msg.Seg, RoleSplit, in, pipeline.NewSegment(msg.Seg), split); err != nil {
+		return "", err
+	}
+	return in.Addr(), nil
+}
+
+// hostMerger runs a replication merger: a concurrent fan-in source
+// deduplicating into a single batched streamout toward the downstream.
+func (a *Agent) hostMerger(msg *Message) (string, error) {
+	merge, err := replica.NewMerger(replica.MergerConfig{
+		Group:      msg.Group,
+		ListenAddr: net.JoinHostPort(a.ListenHost, "0"),
+	})
+	if err != nil {
+		return "", err
+	}
+	out := pipeline.NewStreamOutBatched(msg.Downstream, a.node.FlushPolicy)
+	if err := a.node.HostUnit(msg.Seg, RoleMerge, merge, pipeline.NewSegment(msg.Seg), out); err != nil {
+		return "", err
+	}
+	return merge.Addr(), nil
 }
 
 func (a *Agent) stopSegment(segName string) error {
@@ -208,6 +287,12 @@ func (a *Agent) segmentStats() []SegmentStatus {
 			RecordsOut: s.RecordsOut,
 			BatchesOut: s.BatchesOut,
 			BytesOut:   s.BytesOut,
+			Role:       s.Role,
+			Legs:       s.Legs,
+			LegDrops:   s.LegDrops,
+			Dups:       s.Dups,
+			Skipped:    s.Skipped,
+			Untagged:   s.Untagged,
 			Failed:     s.Failed,
 			Err:        s.Err,
 		}

@@ -37,12 +37,48 @@ func FetchStatus(coordAddr string, timeout time.Duration) (*ClusterStatus, error
 	return reply.Status, nil
 }
 
+// RequestDrain asks a coordinator to gracefully move the named placement
+// unit (flush + boundary splice + stop + reassign — zero scope repairs);
+// see Coordinator.Drain. The call blocks until the move completes or
+// fails. The timeout must cover the boundary wait plus the settle delay.
+func RequestDrain(coordAddr, unitName string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", coordAddr, timeout)
+	if err != nil {
+		return fmt.Errorf("river: drain: dial %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	w := newWire(conn)
+	if err := w.send(&Message{Type: TypeDrain, Seg: unitName}); err != nil {
+		return err
+	}
+	reply, err := w.recv()
+	if err != nil {
+		return fmt.Errorf("river: drain: %w", err)
+	}
+	if reply.Err != "" {
+		return errors.New(reply.Err)
+	}
+	return nil
+}
+
 // WatchEntry subscribes to a coordinator's pipeline entry address and
 // invokes fn for the current address and every subsequent change, until
 // ctx is cancelled (returns nil) or the connection drops (returns the
 // error). A source uses this to point — and keep pointing — its streamout
 // at the pipeline's first segment as the control plane moves it.
 func WatchEntry(ctx context.Context, coordAddr string, fn func(addr string)) error {
+	return WatchEntryUpdates(ctx, coordAddr, func(addr string, _ bool) { fn(addr) })
+}
+
+// WatchEntryUpdates is WatchEntry with the drain signal: boundary is true
+// when the entry moved as part of a planned drain, in which case the
+// source should switch at its next top-level scope boundary
+// (StreamOut.RedirectAtBoundary) rather than immediately.
+func WatchEntryUpdates(ctx context.Context, coordAddr string, fn func(addr string, boundary bool)) error {
 	conn, err := (&net.Dialer{Timeout: 5 * time.Second}).DialContext(ctx, "tcp", coordAddr)
 	if err != nil {
 		return fmt.Errorf("river: watch: dial %s: %w", coordAddr, err)
@@ -70,7 +106,7 @@ func WatchEntry(ctx context.Context, coordAddr string, fn func(addr string)) err
 			return fmt.Errorf("river: watch: %w", err)
 		}
 		if msg.Type == TypeEntry && msg.Addr != "" {
-			fn(msg.Addr)
+			fn(msg.Addr, msg.Boundary)
 		}
 	}
 }

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -15,6 +17,15 @@ import (
 type SegmentSpec struct {
 	Name string
 	Type string
+	// Replicas, when > 1, runs the segment as that many replica
+	// instances behind a splitter/merger pair: the splitter tags the
+	// stream with sequence numbers and fans it out to every replica, the
+	// merger deduplicates the copies back to exactly-once output, so one
+	// replica death loses zero records and repairs zero scopes
+	// downstream. 0 and 1 mean an ordinary single instance. Replicated
+	// segment types must be record-preserving and deterministic (e.g.
+	// "relay") for the copies to deduplicate.
+	Replicas int
 }
 
 // PipelineSpec is the desired topology the coordinator maintains: an
@@ -40,6 +51,10 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// RPCTimeout bounds an assign/redirect round trip (default 5s).
 	RPCTimeout time.Duration
+	// DrainSettle is how long a planned drain lets the old instance
+	// finish emitting its tail after the stream has been spliced away,
+	// before stopping it (default 250ms).
+	DrainSettle time.Duration
 	// Placer chooses hosts for segments (default LeastLoaded).
 	Placer Placer
 	// MinNodes delays the initial placement until at least this many
@@ -69,6 +84,9 @@ func (c Config) withDefaults() Config {
 	if c.RPCTimeout <= 0 {
 		c.RPCTimeout = 5 * time.Second
 	}
+	if c.DrainSettle <= 0 {
+		c.DrainSettle = 250 * time.Millisecond
+	}
 	if c.Placer == nil {
 		c.Placer = LeastLoaded{}
 	}
@@ -91,12 +109,46 @@ type member struct {
 	gone    bool
 }
 
-// placement records where one spec segment currently runs; node and addr
-// are empty while it awaits (re-)placement.
+// unit is one placeable instance derived from the spec: a plain segment,
+// or one of the merger/replica/splitter roles a replicated segment
+// expands into. Unit names double as the hosted instance names on agents.
+type unit struct {
+	name  string // placement key, e.g. "extract" or "extract/r2"
+	group string // owning spec segment name
+	typ   string // registry type ("" for splitter/merger endpoints)
+	role  string // "", RoleSplit, RoleMerge, RoleReplica
+	idx   int    // replica ordinal (1-based) for RoleReplica
+}
+
+// expandSpec derives the placement units of one spec segment, in
+// placement order: downstream-most first (merger, then replicas, then the
+// splitter — which is the group's entry point for upstream traffic).
+func expandSpec(sp SegmentSpec) []unit {
+	if sp.Replicas <= 1 {
+		return []unit{{name: sp.Name, group: sp.Name, typ: sp.Type}}
+	}
+	us := make([]unit, 0, sp.Replicas+2)
+	us = append(us, unit{name: sp.Name + "/merge", group: sp.Name, role: RoleMerge})
+	for i := 1; i <= sp.Replicas; i++ {
+		us = append(us, unit{
+			name: fmt.Sprintf("%s/r%d", sp.Name, i), group: sp.Name,
+			typ: sp.Type, role: RoleReplica, idx: i,
+		})
+	}
+	return append(us, unit{name: sp.Name + "/split", group: sp.Name, role: RoleSplit})
+}
+
+// placement records where one unit currently runs; node and addr are
+// empty while it awaits (re-)placement. down and legs record the
+// downstream target(s) the live instance was last told, so the reconcile
+// loop can re-splice declaratively whenever the desired target moves.
 type placement struct {
-	spec SegmentSpec
-	node string
-	addr string
+	u     unit
+	node  string
+	addr  string
+	down  string   // single downstream last told (segments, mergers)
+	legs  []string // splitter fan-out last told (sorted)
+	epoch uint16   // splitter incarnation assigned
 }
 
 // Coordinator owns the desired pipeline topology and drives registered
@@ -111,9 +163,22 @@ type Coordinator struct {
 	kick   chan struct{}
 	closed sync.Once
 
+	// units is every placement unit in topology order (upstream spec
+	// last... see reconcile); unitsBySpec groups them per spec segment,
+	// specIndex maps a spec name to its chain position. All three are
+	// immutable after NewCoordinator.
+	units       []unit
+	unitsBySpec [][]unit
+	specIndex   map[string]int
+
+	// drainMu serializes planned drains so two operators cannot move the
+	// same stretch of the chain concurrently.
+	drainMu sync.Mutex
+
 	mu           sync.Mutex
 	nodes        map[string]*member
 	placements   map[string]*placement
+	epochs       map[string]uint16 // per-group splitter incarnations
 	entryAddr    string
 	watchers     map[*wire]struct{}
 	conns        map[net.Conn]struct{}
@@ -124,10 +189,6 @@ type Coordinator struct {
 	// race a re-assign of the same segment name and kill the fresh
 	// replacement.
 	pendingStops []stopReq
-	// pendingResync names segments whose upstream neighbor still streams
-	// to a stale address because a redirect RPC failed; the reconcile
-	// loop retries until the splice lands (or the topology moves on).
-	pendingResync map[string]bool
 }
 
 // stopReq names a segment instance to stop on a node.
@@ -135,6 +196,11 @@ type stopReq struct {
 	node string
 	seg  string
 }
+
+// entryBoundaryWindow is how long an entry drain waits for watching
+// sources to switch at a scope boundary before stopping the old entry
+// instance; it matches the RedirectAtBoundary fallback sources use.
+const entryBoundaryWindow = 5 * time.Second
 
 // NewCoordinator validates cfg, binds the control listener and starts the
 // coordinator's accept and reconcile loops.
@@ -151,6 +217,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		if sp.Name == "" || sp.Type == "" {
 			return nil, fmt.Errorf("river: segment spec %+v needs a name and a type", sp)
 		}
+		if strings.Contains(sp.Name, "/") {
+			return nil, fmt.Errorf("river: segment name %q: '/' is reserved for replication units", sp.Name)
+		}
+		if sp.Replicas < 0 {
+			return nil, fmt.Errorf("river: segment %q: negative replica count", sp.Name)
+		}
 		if seen[sp.Name] {
 			return nil, fmt.Errorf("river: duplicate segment name %q", sp.Name)
 		}
@@ -162,19 +234,26 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:           cfg,
-		ln:            ln,
-		ctx:           ctx,
-		cancel:        cancel,
-		kick:          make(chan struct{}, 1),
-		nodes:         make(map[string]*member),
-		placements:    make(map[string]*placement),
-		watchers:      make(map[*wire]struct{}),
-		conns:         make(map[net.Conn]struct{}),
-		pendingResync: make(map[string]bool),
+		cfg:        cfg,
+		ln:         ln,
+		ctx:        ctx,
+		cancel:     cancel,
+		kick:       make(chan struct{}, 1),
+		specIndex:  make(map[string]int),
+		nodes:      make(map[string]*member),
+		placements: make(map[string]*placement),
+		epochs:     make(map[string]uint16),
+		watchers:   make(map[*wire]struct{}),
+		conns:      make(map[net.Conn]struct{}),
 	}
-	for _, sp := range cfg.Spec.Segments {
-		c.placements[sp.Name] = &placement{spec: sp}
+	for i, sp := range cfg.Spec.Segments {
+		us := expandSpec(sp)
+		c.unitsBySpec = append(c.unitsBySpec, us)
+		c.specIndex[sp.Name] = i
+		for _, u := range us {
+			c.units = append(c.units, u)
+			c.placements[u.name] = &placement{u: u}
+		}
 	}
 	c.wg.Add(2)
 	go c.acceptLoop()
@@ -210,7 +289,7 @@ func (c *Coordinator) Close() error {
 	return nil
 }
 
-// WaitPlaced blocks until every segment of the spec is placed (and the
+// WaitPlaced blocks until every unit of the spec is placed (and the
 // entry address is known) or ctx expires.
 func (c *Coordinator) WaitPlaced(ctx context.Context) error {
 	t := time.NewTicker(5 * time.Millisecond)
@@ -244,7 +323,9 @@ func (c *Coordinator) allPlaced() bool {
 }
 
 // Status snapshots the cluster: registered nodes, their reported segment
-// counters, and current placements in topology order.
+// counters, and current placements. The snapshot is deterministically
+// ordered — nodes and their segments sorted by name, placements in
+// topology order — so status output is scriptable and diffable.
 func (c *Coordinator) Status() *ClusterStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -260,22 +341,29 @@ func (c *Coordinator) Status() *ClusterStatus {
 	now := time.Now()
 	for _, name := range names {
 		m := c.nodes[name]
+		segs := append([]SegmentStatus(nil), m.stats...)
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Name < segs[j].Name })
 		st.Nodes = append(st.Nodes, NodeStatus{
 			Name:       name,
 			LastBeatMS: now.Sub(m.lastBeat).Milliseconds(),
-			Segments:   append([]SegmentStatus(nil), m.stats...),
+			Segments:   segs,
 			Proto:      m.proto,
 		})
 	}
-	for _, sp := range c.cfg.Spec.Segments {
-		p := c.placements[sp.Name]
-		st.Placements = append(st.Placements, PlacementStatus{
-			Seg:    sp.Name,
-			Type:   sp.Type,
+	for _, u := range c.units {
+		p := c.placements[u.name]
+		ps := PlacementStatus{
+			Seg:    u.name,
+			Type:   u.typ,
+			Role:   u.role,
 			Node:   p.node,
 			Addr:   p.addr,
 			Placed: p.node != "",
-		})
+		}
+		if u.role != "" {
+			ps.Group = u.group
+		}
+		st.Placements = append(st.Placements, ps)
 	}
 	return st
 }
@@ -328,7 +416,7 @@ func (c *Coordinator) acceptLoop() {
 
 // handleConn dispatches one control connection by its first message:
 // register opens a long-lived node session, watch a long-lived entry
-// subscription, status a one-shot query.
+// subscription, status and drain are client requests.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	w := newWire(conn)
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
@@ -342,6 +430,12 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		c.serveNode(w, first)
 	case TypeStatus:
 		_ = w.send(&Message{Type: TypeAck, ID: first.ID, Status: c.Status()})
+	case TypeDrain:
+		reply := &Message{Type: TypeAck, ID: first.ID}
+		if err := c.Drain(first.Seg); err != nil {
+			reply.Err = err.Error()
+		}
+		_ = w.send(reply)
 	case TypeWatch:
 		c.serveWatcher(w)
 	default:
@@ -406,7 +500,7 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 					continue
 				}
 				if p := c.placements[s.Name]; p != nil && p.node == name && p.addr == s.Addr {
-					p.node, p.addr = "", ""
+					p.node, p.addr, p.down, p.legs = "", "", "", nil
 					c.pendingStops = append(c.pendingStops, stopReq{node: name, seg: s.Name})
 					failed = append(failed, s.Name)
 				}
@@ -468,8 +562,8 @@ func (c *Coordinator) dropWatcher(w *wire) {
 	c.mu.Unlock()
 }
 
-// markDead removes a node and frees its segments for re-placement;
-// in-flight RPCs against it fail immediately.
+// markDead removes a node and frees its units for re-placement; in-flight
+// RPCs against it fail immediately.
 func (c *Coordinator) markDead(name, reason string) {
 	c.mu.Lock()
 	m := c.nodes[name]
@@ -484,10 +578,10 @@ func (c *Coordinator) markDead(name, reason string) {
 	}
 	m.pending = nil
 	var lost []string
-	for _, sp := range c.cfg.Spec.Segments {
-		if p := c.placements[sp.Name]; p.node == name {
-			p.node, p.addr = "", ""
-			lost = append(lost, sp.Name)
+	for _, u := range c.units {
+		if p := c.placements[u.name]; p.node == name {
+			p.node, p.addr, p.down, p.legs = "", "", "", nil
+			lost = append(lost, u.name)
 		}
 	}
 	c.mu.Unlock()
@@ -501,8 +595,9 @@ func (c *Coordinator) markDead(name, reason string) {
 }
 
 // reconcileLoop drives the cluster toward the spec: it expires silent
-// nodes and places unplaced segments, waking on registration/death kicks
-// and on a timer that paces heartbeat expiry.
+// nodes and reconciles placements and splices, waking on
+// registration/death kicks and on a timer that paces heartbeat expiry
+// (and retries any RPC that failed last pass).
 func (c *Coordinator) reconcileLoop() {
 	defer c.wg.Done()
 	period := c.cfg.HeartbeatTimeout / 4
@@ -539,12 +634,14 @@ func (c *Coordinator) expireDead() {
 	}
 }
 
-// reconcile places every unplaced segment whose downstream address is
-// known, walking the chain sink-to-source so a fresh placement always has
-// a live address to forward to. After placing a segment it splices the
-// stream back together: the upstream neighbor (if already placed) is
-// redirected at the new address, and a new first segment updates the
-// pipeline entry address.
+// reconcile drives every unit toward the spec, walking the chain
+// sink-to-source so a fresh placement always has a live address to
+// forward to. It is declarative: each pass computes every unit's desired
+// downstream (or leg set) and places, redirects or re-legs whatever
+// differs from what the live instance was last told — so a failed RPC is
+// simply retried on the next pass, and a moved downstream re-splices its
+// upstream automatically. Within a replicated group the order is merger,
+// replicas, splitter; the splitter is the group's entry point.
 func (c *Coordinator) reconcile() {
 	// Clean up dead segment instances first. Running the stops on this
 	// goroutine, before any placement, guarantees a queued stop executes
@@ -561,123 +658,166 @@ func (c *Coordinator) reconcile() {
 			c.logf("cleanup of dead segment %s on %s: %v", s.seg, s.node, err)
 		}
 	}
-	c.resyncUpstreams()
 
 	specs := c.cfg.Spec.Segments
 	for i := len(specs) - 1; i >= 0; i-- {
 		if c.ctx.Err() != nil {
 			return
 		}
-		sp := specs[i]
-		c.mu.Lock()
-		p := c.placements[sp.Name]
-		placed := p.node != ""
 		down := c.cfg.Spec.SinkAddr
 		if i < len(specs)-1 {
-			down = c.placements[specs[i+1].Name].addr
+			down = c.entryAddrOf(i + 1)
 		}
-		c.mu.Unlock()
-		if placed || down == "" {
+		us := c.unitsBySpec[i]
+		if len(us) == 1 {
+			c.ensureUnit(us[0], down)
 			continue
 		}
-		node := c.pickNode(sp.Name)
-		if node == "" {
-			c.logf("segment %s waiting: no eligible nodes", sp.Name)
-			continue
+		mergeAddr := c.ensureUnit(us[0], down)
+		legs := make([]string, 0, len(us)-2)
+		for _, u := range us[1 : len(us)-1] {
+			if a := c.ensureUnit(u, mergeAddr); a != "" {
+				legs = append(legs, a)
+			}
 		}
-		addr, err := c.assign(node, sp, down)
+		c.ensureSplitter(us[len(us)-1], legs)
+	}
+	if e := c.entryAddrOf(0); e != "" {
+		c.setEntry(e)
+	}
+}
+
+// entryAddrOf returns the address upstream traffic for spec i dials (its
+// last unit: the plain segment, or the group's splitter), or "" while
+// unplaced.
+func (c *Coordinator) entryAddrOf(i int) string {
+	us := c.unitsBySpec[i]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.placements[us[len(us)-1].name].addr
+}
+
+// ensureUnit places unit u (forwarding to down) if it is unplaced, or
+// re-splices its live instance if the desired downstream moved. It
+// returns the unit's current address ("" while unplaced or blocked).
+func (c *Coordinator) ensureUnit(u unit, down string) string {
+	c.mu.Lock()
+	p := c.placements[u.name]
+	node, addr, cur := p.node, p.addr, p.down
+	c.mu.Unlock()
+	if down == "" {
+		return addr
+	}
+	if node == "" {
+		pick := c.pickNode(u, "")
+		if pick == "" {
+			c.logf("segment %s waiting: no eligible nodes", u.name)
+			return ""
+		}
+		msg := &Message{Type: TypeAssign, Seg: u.name, SegType: u.typ, Downstream: down}
+		if u.role == RoleMerge {
+			msg.Role, msg.Group = RoleMerge, u.group
+		}
+		a, err := c.assign(pick, msg)
 		if err != nil {
-			c.logf("assign %s to %s: %v", sp.Name, node, err)
-			continue
+			c.logf("assign %s to %s: %v", u.name, pick, err)
+			return ""
 		}
 		c.mu.Lock()
-		if _, alive := c.nodes[node]; !alive {
+		if _, alive := c.nodes[pick]; !alive {
 			// The node died between the ack and here; leave the segment
 			// unplaced for the next pass.
 			c.mu.Unlock()
-			continue
+			return ""
 		}
-		p.node, p.addr = node, addr
-		var upNode, upSeg string
-		if i > 0 {
-			up := c.placements[specs[i-1].Name]
-			upNode, upSeg = up.node, specs[i-1].Name
-		}
+		p.node, p.addr, p.down = pick, a, down
 		c.mu.Unlock()
-		c.logf("segment %s placed on %s at %s", sp.Name, node, addr)
-		if i == 0 {
-			c.setEntry(addr)
-		} else if upNode != "" {
-			if err := c.redirect(upNode, upSeg, addr); err != nil {
-				// The upstream neighbor still streams to the dead old
-				// address; queue a retry or the stall becomes permanent
-				// while Status reports a healthy pipeline.
-				c.logf("redirect %s on %s: %v (will retry)", upSeg, upNode, err)
-				c.mu.Lock()
-				c.pendingResync[sp.Name] = true
-				c.mu.Unlock()
-			}
-		}
+		c.logf("segment %s placed on %s at %s", u.name, pick, a)
+		return a
 	}
-}
-
-// resyncUpstreams retries failed upstream redirects: for every queued
-// segment, the current placement of its upstream neighbor is re-pointed
-// at the segment's current address. Entries go stale when either side is
-// re-placed meanwhile; the placement flow covers those, so they are
-// dropped here.
-func (c *Coordinator) resyncUpstreams() {
-	c.mu.Lock()
-	if len(c.pendingResync) == 0 {
-		c.mu.Unlock()
-		return
-	}
-	specs := c.cfg.Spec.Segments
-	type resync struct {
-		seg, addr, upNode, upSeg string
-	}
-	var todo []resync
-	for name := range c.pendingResync {
-		idx := -1
-		for i, sp := range specs {
-			if sp.Name == name {
-				idx = i
-				break
-			}
+	if cur != down {
+		if err := c.redirect(node, u.name, down); err != nil {
+			// The instance still streams to the stale address; the next
+			// pass retries, so the stall cannot become permanent.
+			c.logf("redirect %s on %s: %v (will retry)", u.name, node, err)
+			return addr
 		}
-		if idx <= 0 {
-			delete(c.pendingResync, name)
-			continue
-		}
-		p, up := c.placements[name], c.placements[specs[idx-1].Name]
-		if p.node == "" || up.node == "" {
-			// One side is awaiting placement; the assign/redirect path
-			// will splice them when it lands.
-			delete(c.pendingResync, name)
-			continue
-		}
-		todo = append(todo, resync{seg: name, addr: p.addr, upNode: up.node, upSeg: specs[idx-1].Name})
-	}
-	c.mu.Unlock()
-	for _, r := range todo {
-		if err := c.redirect(r.upNode, r.upSeg, r.addr); err != nil {
-			c.logf("redirect retry %s on %s: %v (will retry)", r.upSeg, r.upNode, err)
-			continue
-		}
-		c.logf("upstream %s re-spliced to %s at %s", r.upSeg, r.seg, r.addr)
 		c.mu.Lock()
-		delete(c.pendingResync, r.seg)
+		p.down = down
 		c.mu.Unlock()
+		c.logf("%s re-spliced to %s", u.name, down)
 	}
+	return addr
 }
 
-// pickNode chooses a live node for segment segName via the placement
-// policy. Each candidate carries its placed-segment count plus the flow
-// telemetry from its latest heartbeat (summed lag and queue backlog) and
-// whether it hosts a spec neighbor of segName, so policies can spread
-// chains and steer around saturated nodes. It returns "" until MinNodes
-// nodes have registered at least once (the bootstrap gate).
-func (c *Coordinator) pickNode(segName string) string {
+// ensureSplitter places the group's splitter once at least one replica
+// leg exists, or reconciles a live splitter's leg set against the placed
+// replicas (dropping dead legs, splicing re-placed ones in). Each
+// assignment advances the group's epoch so the merger can tell a fresh
+// splitter's numbering from its predecessor's.
+func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
+	sort.Strings(legs)
+	c.mu.Lock()
+	p := c.placements[u.name]
+	node, addr, last := p.node, p.addr, append([]string(nil), p.legs...)
+	c.mu.Unlock()
+	if len(legs) == 0 {
+		return addr
+	}
+	if node == "" {
+		pick := c.pickNode(u, "")
+		if pick == "" {
+			c.logf("splitter %s waiting: no eligible nodes", u.name)
+			return ""
+		}
+		c.mu.Lock()
+		c.epochs[u.group]++
+		epoch := c.epochs[u.group]
+		c.mu.Unlock()
+		a, err := c.assign(pick, &Message{
+			Type: TypeAssign, Seg: u.name, Role: RoleSplit, Group: u.group,
+			Downstreams: legs, Epoch: epoch,
+		})
+		if err != nil {
+			c.logf("assign splitter %s to %s: %v", u.name, pick, err)
+			return ""
+		}
+		c.mu.Lock()
+		if _, alive := c.nodes[pick]; !alive {
+			c.mu.Unlock()
+			return ""
+		}
+		p.node, p.addr, p.down = pick, a, ""
+		p.legs = append([]string(nil), legs...)
+		p.epoch = epoch
+		c.mu.Unlock()
+		c.logf("splitter %s placed on %s at %s (epoch %d, %d legs)", u.name, pick, a, epoch, len(legs))
+		return a
+	}
+	if !slices.Equal(last, legs) {
+		if err := c.setLegs(node, u.name, legs); err != nil {
+			c.logf("legs update %s on %s: %v (will retry)", u.name, node, err)
+			return addr
+		}
+		c.mu.Lock()
+		p.legs = append([]string(nil), legs...)
+		c.mu.Unlock()
+		c.logf("splitter %s legs now %v", u.name, legs)
+	}
+	return addr
+}
+
+// pickNode chooses a live node for unit u via the placement policy,
+// excluding (if non-empty) one node a drain is moving away from. Each
+// candidate carries its placed-segment count plus the flow telemetry from
+// its latest heartbeat, and whether it hosts a topology neighbor of u —
+// an adjacent spec segment, or a unit of u's own replication group — so
+// policies can spread chains across failure domains. Replicas go further:
+// candidates hosting a sibling replica are excluded outright while any
+// alternative exists, so the copies land on distinct nodes under every
+// policy. Returns "" until MinNodes nodes have registered at least once
+// (the bootstrap gate).
+func (c *Coordinator) pickNode(u unit, exclude string) string {
 	c.mu.Lock()
 	if !c.bootstrapped {
 		if len(c.nodes) < c.cfg.MinNodes {
@@ -686,23 +826,31 @@ func (c *Coordinator) pickNode(segName string) string {
 		}
 		c.bootstrapped = true
 	}
-	// Nodes hosting a segment adjacent to segName in the chain.
-	neighbors := make(map[string]bool, 2)
-	for i, sp := range c.cfg.Spec.Segments {
-		if sp.Name != segName {
+	specIdx := c.specIndex[u.group]
+	neighbors := make(map[string]bool)
+	siblings := make(map[string]bool)
+	for _, j := range []int{specIdx - 1, specIdx + 1} {
+		if j < 0 || j >= len(c.unitsBySpec) {
 			continue
 		}
-		if i > 0 {
-			if p := c.placements[c.cfg.Spec.Segments[i-1].Name]; p.node != "" {
+		for _, v := range c.unitsBySpec[j] {
+			if p := c.placements[v.name]; p.node != "" {
 				neighbors[p.node] = true
 			}
 		}
-		if i < len(c.cfg.Spec.Segments)-1 {
-			if p := c.placements[c.cfg.Spec.Segments[i+1].Name]; p.node != "" {
-				neighbors[p.node] = true
-			}
+	}
+	for _, v := range c.unitsBySpec[specIdx] {
+		if v.name == u.name {
+			continue
 		}
-		break
+		p := c.placements[v.name]
+		if p.node == "" {
+			continue
+		}
+		neighbors[p.node] = true
+		if u.role == RoleReplica && v.role == RoleReplica {
+			siblings[p.node] = true
+		}
 	}
 	load := make(map[string]*NodeLoad, len(c.nodes))
 	for name, m := range c.nodes {
@@ -721,23 +869,177 @@ func (c *Coordinator) pickNode(segName string) string {
 			}
 		}
 	}
+	c.mu.Unlock()
 	cands := make([]NodeLoad, 0, len(load))
-	for _, nl := range load {
+	for name, nl := range load {
+		if name == exclude || siblings[name] {
+			continue
+		}
 		cands = append(cands, *nl)
 	}
-	c.mu.Unlock()
+	if len(cands) == 0 && len(siblings) > 0 {
+		// Fewer nodes than replicas: better a co-located replica than an
+		// unplaced one.
+		for name, nl := range load {
+			if name != exclude {
+				cands = append(cands, *nl)
+			}
+		}
+	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Name < cands[j].Name })
 	return c.cfg.Placer.Pick(cands)
 }
 
-// assign RPCs an agent to host a segment and returns the bound address.
-func (c *Coordinator) assign(node string, sp SegmentSpec, downstream string) (string, error) {
-	reply, err := c.rpc(node, &Message{
-		Type:       TypeAssign,
-		Seg:        sp.Name,
-		SegType:    sp.Type,
-		Downstream: downstream,
-	})
+// Drain gracefully moves a placed unit to another node — the
+// operator-initiated counterpart of failover re-placement, built to
+// repair zero scopes: a fresh instance is placed first, the stream is
+// spliced over without cutting it mid-scope, and the old instance is
+// stopped only after its tail has settled downstream.
+//
+// For a replica unit the splice is a splitter leg swap (the merger's
+// dedup makes the handover invisible at any stream position). For an
+// ordinary segment the upstream neighbor redirects at the next top-level
+// scope boundary, so the old instance's final connection ends with a
+// structurally complete stream; draining the entry segment publishes the
+// new address immediately (external sources redirect eagerly).
+// Splitter/merger endpoints cannot be drained — move their replicas.
+func (c *Coordinator) Drain(unitName string) error {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+	c.mu.Lock()
+	p := c.placements[unitName]
+	if p == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("river: unknown unit %q", unitName)
+	}
+	u := p.u
+	oldNode, oldAddr, down := p.node, p.addr, p.down
+	c.mu.Unlock()
+	switch u.role {
+	case RoleSplit, RoleMerge:
+		return errors.New("river: draining a replication endpoint is not supported; drain its replicas instead")
+	}
+	if oldNode == "" {
+		return fmt.Errorf("river: %q is not placed", unitName)
+	}
+	if down == "" {
+		return fmt.Errorf("river: %q has no downstream yet", unitName)
+	}
+	dest := c.pickNode(u, oldNode)
+	if dest == "" || dest == oldNode {
+		return errors.New("river: no other eligible node to drain to")
+	}
+	newAddr, err := c.assign(dest, &Message{Type: TypeAssign, Seg: unitName, SegType: u.typ, Downstream: down})
+	if err != nil {
+		return fmt.Errorf("river: drain assign to %s: %w", dest, err)
+	}
+
+	// Splice, then commit. The splice RPCs happen unlocked; every state
+	// change they imply — the unit's new placement, the upstream's new
+	// downstream, the splitter's new legs, the entry address — commits
+	// under one mu hold (via onCommit) so a concurrent reconcile pass can
+	// never observe a half-moved topology and splice it backward.
+	settle := c.cfg.DrainSettle
+	var onCommit func()
+	entryDrain := false
+	switch {
+	case u.role == RoleReplica:
+		splitName := u.group + "/split"
+		c.mu.Lock()
+		sp := c.placements[splitName]
+		splitNode := sp.node
+		legs := make([]string, 0, len(sp.legs)+1)
+		for _, a := range sp.legs {
+			if a != oldAddr {
+				legs = append(legs, a)
+			}
+		}
+		legs = append(legs, newAddr)
+		sort.Strings(legs)
+		c.mu.Unlock()
+		if splitNode != "" {
+			if err := c.setLegs(splitNode, splitName, legs); err != nil {
+				// The fresh instance stays placed; reconcile retries the
+				// splice, so the drain degrades to eventual rather than
+				// failing the move.
+				c.logf("drain %s: legs update: %v (reconcile will retry)", unitName, err)
+			} else {
+				onCommit = func() { sp.legs = legs }
+			}
+		}
+	case c.specIndex[u.group] == 0:
+		// Unlike the mid-chain path there is no ack that the external
+		// source switched: give it the full boundary window sources use
+		// (see WatchEntryUpdates / StreamOut.RedirectAtBoundary) before
+		// the old instance is stopped, so a boundary-honoring station has
+		// ended the old stream cleanly by then. A source that ignores the
+		// hint degrades to an ordinary redirect's repair seam. The entry
+		// address commits together with the placement below, so reconcile
+		// cannot re-announce the stale address during the window.
+		entryDrain = true
+		if settle < entryBoundaryWindow {
+			settle = entryBoundaryWindow
+		}
+	default:
+		upUnits := c.unitsBySpec[c.specIndex[u.group]-1]
+		up := upUnits[0] // the spec's exit unit: plain segment or merger
+		c.mu.Lock()
+		upP := c.placements[up.name]
+		upNode := upP.node
+		c.mu.Unlock()
+		if upNode == "" {
+			return fmt.Errorf("river: upstream of %q is unplaced; cannot splice", unitName)
+		}
+		if _, err := c.rpc(upNode, &Message{Type: TypeRedirect, Seg: up.name, Downstream: newAddr, Boundary: true}); err != nil {
+			return fmt.Errorf("river: drain splice via %s: %w", up.name, err)
+		}
+		onCommit = func() { upP.down = newAddr }
+	}
+
+	c.mu.Lock()
+	if _, alive := c.nodes[dest]; !alive {
+		// The destination died mid-drain: leave the unit free so the
+		// reconcile loop re-places it (the old instance, already spliced
+		// away, is stopped below either way).
+		p.node, p.addr, p.down, p.legs = "", "", "", nil
+		c.mu.Unlock()
+		c.kickReconcile()
+		return fmt.Errorf("river: drain destination %s died; %s awaits re-placement", dest, unitName)
+	}
+	p.node, p.addr, p.down = dest, newAddr, down
+	if onCommit != nil {
+		onCommit()
+	}
+	var ws []*wire
+	if entryDrain && c.entryAddr != newAddr {
+		c.entryAddr = newAddr
+		for w := range c.watchers {
+			ws = append(ws, w)
+		}
+	}
+	c.mu.Unlock()
+	if entryDrain {
+		c.logf("pipeline entry now %s (boundary drain)", newAddr)
+		c.broadcastEntry(ws, newAddr, true)
+	}
+	c.logf("drained %s: %s -> %s at %s", unitName, oldNode, dest, newAddr)
+
+	// Let the old instance finish emitting the tail it accepted before
+	// the splice, then stop it.
+	select {
+	case <-time.After(settle):
+	case <-c.ctx.Done():
+	}
+	if _, err := c.rpc(oldNode, &Message{Type: TypeStop, Seg: unitName}); err != nil {
+		c.logf("drain stop of %s on %s: %v", unitName, oldNode, err)
+	}
+	c.kickReconcile()
+	return nil
+}
+
+// assign RPCs an agent to host a unit and returns the bound address.
+func (c *Coordinator) assign(node string, msg *Message) (string, error) {
+	reply, err := c.rpc(node, msg)
 	if err != nil {
 		return "", err
 	}
@@ -750,6 +1052,12 @@ func (c *Coordinator) assign(node string, sp SegmentSpec, downstream string) (st
 // redirect RPCs the agent hosting segName to repoint its streamout.
 func (c *Coordinator) redirect(node, segName, downstream string) error {
 	_, err := c.rpc(node, &Message{Type: TypeRedirect, Seg: segName, Downstream: downstream})
+	return err
+}
+
+// setLegs RPCs the agent hosting a splitter to replace its leg set.
+func (c *Coordinator) setLegs(node, segName string, legs []string) error {
+	_, err := c.rpc(node, &Message{Type: TypeLegs, Seg: segName, Downstreams: legs})
 	return err
 }
 
@@ -800,8 +1108,10 @@ func (c *Coordinator) rpc(node string, msg *Message) (*Message, error) {
 	}
 }
 
-// setEntry records a new pipeline entry address and notifies watchers and
-// the OnEntryChange hook.
+// setEntry records a new pipeline entry address (an immediate move:
+// failover or initial placement) and notifies watchers and the
+// OnEntryChange hook. Entry drains bypass it — they commit the address
+// together with the placement and broadcast with the boundary hint.
 func (c *Coordinator) setEntry(addr string) {
 	c.mu.Lock()
 	if c.entryAddr == addr {
@@ -815,8 +1125,15 @@ func (c *Coordinator) setEntry(addr string) {
 	}
 	c.mu.Unlock()
 	c.logf("pipeline entry now %s", addr)
+	c.broadcastEntry(ws, addr, false)
+}
+
+// broadcastEntry notifies watchers (and the OnEntryChange hook) of an
+// entry address; boundary asks watching sources to switch at their next
+// top-level scope boundary rather than immediately.
+func (c *Coordinator) broadcastEntry(ws []*wire, addr string, boundary bool) {
 	for _, w := range ws {
-		if err := w.send(&Message{Type: TypeEntry, Addr: addr}); err != nil {
+		if err := w.send(&Message{Type: TypeEntry, Addr: addr, Boundary: boundary}); err != nil {
 			c.dropWatcher(w)
 			_ = w.close()
 		}

@@ -21,13 +21,18 @@ import (
 
 // ProtocolVersion is the control protocol revision this build speaks.
 // Version 2 added flow-control telemetry to heartbeats (lag, queue depth,
-// batch/byte counters). The protocol is JSON with optional fields, so
-// decode is backward compatible in both directions: a v1 peer's messages
-// simply lack the new fields (they decode to zero), and a v1 decoder
-// ignores fields it does not know. Agents announce their version in the
-// register message; the coordinator records it and echoes its own in the
-// ack, so operators can spot mixed-version clusters in status output.
-const ProtocolVersion = 2
+// batch/byte counters). Version 3 added the replication topology: assign
+// messages carry a role (splitter/merger endpoint vs ordinary segment),
+// a replica downstream list and a splitter epoch; "legs" updates a live
+// splitter's fan-out set; "drain" asks the coordinator for a planned
+// zero-repair move; heartbeats carry dedup/leg counters. The protocol is
+// JSON with optional fields, so decode is backward compatible in both
+// directions: an older peer's messages simply lack the new fields (they
+// decode to zero), and an older decoder ignores fields it does not know.
+// Agents announce their version in the register message; the coordinator
+// records it and echoes its own in the ack, so operators can spot
+// mixed-version clusters in status output.
+const ProtocolVersion = 3
 
 // Control message types. Register, heartbeat and ack flow from agents to
 // the coordinator; assign, redirect and stop flow the other way. Status
@@ -48,6 +53,13 @@ const (
 	TypeRedirect = "redirect"
 	// TypeStop instructs an agent to stop hosting segment Seg.
 	TypeStop = "stop"
+	// TypeLegs instructs an agent to replace hosted splitter Seg's
+	// fan-out leg set with Downstreams (protocol v3).
+	TypeLegs = "legs"
+	// TypeDrain asks the coordinator (client session, protocol v3) to
+	// gracefully move unit Seg: place a fresh instance, splice the stream
+	// at a scope boundary, stop the old instance — zero scope repairs.
+	TypeDrain = "drain"
 	// TypeStatus requests a ClusterStatus snapshot (client session).
 	TypeStatus = "status"
 	// TypeWatch subscribes a client to pipeline entry-address updates.
@@ -75,6 +87,22 @@ type Message struct {
 	SegType string `json:"seg_type,omitempty"`
 	// Downstream is the address a segment forwards to (assign, redirect).
 	Downstream string `json:"downstream,omitempty"`
+	// Role selects what an assign instantiates (protocol v3): absent for
+	// an ordinary segment, RoleSplit for a replication splitter, RoleMerge
+	// for a merger.
+	Role string `json:"role,omitempty"`
+	// Group names the replicated segment group a splitter or merger
+	// serves (assign with a role).
+	Group string `json:"group,omitempty"`
+	// Downstreams carries a splitter's replica leg addresses (assign with
+	// RoleSplit, and legs updates).
+	Downstreams []string `json:"downstreams,omitempty"`
+	// Epoch is the splitter incarnation (assign with RoleSplit).
+	Epoch uint16 `json:"epoch,omitempty"`
+	// Boundary defers a redirect to the next top-level scope boundary
+	// (redirect during a planned drain) instead of switching immediately;
+	// on an entry message it tells watching sources to do the same.
+	Boundary bool `json:"boundary,omitempty"`
 	// Addr carries a bound listen address (assign ack) or the pipeline
 	// entry address (entry).
 	Addr string `json:"addr,omitempty"`
@@ -110,6 +138,19 @@ type SegmentStatus struct {
 	RecordsOut uint64 `json:"records_out,omitempty"`
 	BatchesOut uint64 `json:"batches_out,omitempty"`
 	BytesOut   uint64 `json:"bytes_out,omitempty"`
+	// Replication telemetry (protocol v3). Role marks splitter/merger
+	// endpoints; Legs counts a splitter's live fan-out legs (or a
+	// merger's live upstream connections); LegDrops counts records a
+	// splitter dropped toward a saturated or dead leg; Dups, Skipped and
+	// Untagged are the merger's dedup counters (duplicate copies
+	// discarded, records lost across all-leg failures, untagged records
+	// swallowed).
+	Role     string `json:"role,omitempty"`
+	Legs     int    `json:"legs,omitempty"`
+	LegDrops uint64 `json:"leg_drops,omitempty"`
+	Dups     uint64 `json:"dups,omitempty"`
+	Skipped  uint64 `json:"skipped,omitempty"`
+	Untagged uint64 `json:"untagged,omitempty"`
 	// Failed marks an instance whose pipeline exited on an operator
 	// error while its node stayed healthy; Err carries the cause. The
 	// coordinator re-places failed segments just like those on dead
@@ -117,6 +158,14 @@ type SegmentStatus struct {
 	Failed bool   `json:"failed,omitempty"`
 	Err    string `json:"seg_err,omitempty"`
 }
+
+// Unit roles in a replicated segment group (protocol v3). RoleReplica is
+// placement-only: replicas travel the wire as ordinary segment assigns.
+const (
+	RoleSplit   = "split"
+	RoleMerge   = "merge"
+	RoleReplica = "replica"
+)
 
 // LagValue returns the segment's cumulative processed−emitted delta
 // (saturating at 0), derived from the counters rather than carried on the
@@ -140,10 +189,15 @@ type NodeStatus struct {
 	Proto int `json:"proto,omitempty"`
 }
 
-// PlacementStatus describes where one pipeline segment currently runs.
+// PlacementStatus describes where one placement unit currently runs. A
+// plain spec segment is one unit; a replicated segment expands into a
+// merger, N replicas and a splitter, reported as units of the same Group
+// with their Role set (protocol v3).
 type PlacementStatus struct {
 	Seg    string `json:"seg"`
 	Type   string `json:"type"`
+	Group  string `json:"group,omitempty"`
+	Role   string `json:"role,omitempty"`
 	Node   string `json:"node,omitempty"`
 	Addr   string `json:"addr,omitempty"`
 	Placed bool   `json:"placed"`

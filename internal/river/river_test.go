@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -969,6 +970,131 @@ func TestRedirectRetry(t *testing.T) {
 	for _, p := range coord.Status().Placements {
 		if p.Seg == "second" && (!p.Placed || p.Node != "b-up") {
 			t.Fatalf("second not re-placed on survivor: %+v", p)
+		}
+	}
+}
+
+// TestPlacerTieBreaking pins down every placer's behavior on the
+// degenerate candidate sets: empty (no node may be invented) and fully
+// equal (the name tie-break must make the choice deterministic).
+func TestPlacerTieBreaking(t *testing.T) {
+	placers := map[string]Placer{
+		"least-loaded": LeastLoaded{},
+		"spread":       Spread{},
+		"load-aware":   LoadAware{},
+	}
+	equal := []NodeLoad{
+		{Name: "n2", Segments: 1, QueueDepth: 10, QueueCap: 100},
+		{Name: "n1", Segments: 1, QueueDepth: 10, QueueCap: 100},
+		{Name: "n3", Segments: 1, QueueDepth: 10, QueueCap: 100},
+	}
+	for name, p := range placers {
+		if got := p.Pick(nil); got != "" {
+			t.Errorf("%s: Pick(nil) = %q, want \"\"", name, got)
+		}
+		if got := p.Pick([]NodeLoad{}); got != "" {
+			t.Errorf("%s: Pick(empty) = %q, want \"\"", name, got)
+		}
+		got := p.Pick(equal)
+		if got == "" {
+			t.Errorf("%s: refused to pick from equal candidates", name)
+			continue
+		}
+		for i := 0; i < 5; i++ {
+			if again := p.Pick(equal); again != got {
+				t.Errorf("%s: equal candidates picked %q then %q; tie-break is not deterministic", name, got, again)
+			}
+		}
+	}
+	// Equal-set tie-breaks are by name for the score-based placers; Spread
+	// rotates by total placed count (here 3 % 3 = position 0), which is
+	// also n1.
+	if got := (LeastLoaded{}).Pick(equal); got != "n1" {
+		t.Errorf("LeastLoaded equal-set pick = %q, want n1", got)
+	}
+	if got := (LoadAware{}).Pick(equal); got != "n1" {
+		t.Errorf("LoadAware equal-set pick = %q, want n1", got)
+	}
+	if got := (Spread{}).Pick(equal); got != "n1" {
+		t.Errorf("Spread equal-set pick = %q, want n1", got)
+	}
+	// A single candidate is always chosen, even when it hosts a neighbor
+	// or reports saturation — placing somewhere beats placing nowhere.
+	lone := []NodeLoad{{Name: "only", Segments: 9, QueueDepth: 256, QueueCap: 256, HostsNeighbor: true}}
+	for name, p := range placers {
+		if got := p.Pick(lone); got != "only" {
+			t.Errorf("%s: single-candidate pick = %q, want only", name, got)
+		}
+	}
+}
+
+// TestStatusDeterministicOrder feeds the coordinator heartbeats with
+// deliberately unsorted segment stats from nodes registered in
+// non-alphabetical order, and requires the snapshot to come back fully
+// sorted — nodes and segments by name, placements in topology order — so
+// status output is scriptable and diffable.
+func TestStatusDeterministicOrder(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Spec: PipelineSpec{
+			Segments: []SegmentSpec{
+				{Name: "alpha", Type: "t"},
+				{Name: "beta", Type: "t", Replicas: 2},
+			},
+			SinkAddr: "127.0.0.1:9",
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	zeta := newFakeAgent(t, coord.Addr(), "zeta", "127.0.0.1:19001")
+	defer zeta.close()
+	apex := newFakeAgent(t, coord.Addr(), "apex", "127.0.0.1:19002")
+	defer apex.close()
+	zeta.setStats([]SegmentStatus{{Name: "zz"}, {Name: "aa"}, {Name: "mm"}})
+	waitFor(t, 5*time.Second, "unsorted heartbeat folded in", func() bool {
+		for _, n := range coord.Status().Nodes {
+			if n.Name == "zeta" && len(n.Segments) == 3 {
+				return true
+			}
+		}
+		return false
+	})
+
+	st := coord.Status()
+	if len(st.Nodes) != 2 || st.Nodes[0].Name != "apex" || st.Nodes[1].Name != "zeta" {
+		t.Fatalf("nodes not sorted: %+v", st.Nodes)
+	}
+	var zetaSegs []string
+	for _, s := range st.Nodes[1].Segments {
+		zetaSegs = append(zetaSegs, s.Name)
+	}
+	if !sort.StringsAreSorted(zetaSegs) {
+		t.Errorf("node segments not sorted: %v", zetaSegs)
+	}
+	// Placements follow the spec's topology order with replicated groups
+	// expanded merge -> replicas -> split.
+	wantUnits := []string{"alpha", "beta/merge", "beta/r1", "beta/r2", "beta/split"}
+	if len(st.Placements) != len(wantUnits) {
+		t.Fatalf("placements: %+v", st.Placements)
+	}
+	for i, want := range wantUnits {
+		if st.Placements[i].Seg != want {
+			t.Errorf("placement %d = %q, want %q", i, st.Placements[i].Seg, want)
+		}
+	}
+	for _, p := range st.Placements {
+		if p.Seg == "beta/split" && (p.Role != RoleSplit || p.Group != "beta") {
+			t.Errorf("split unit missing role/group: %+v", p)
+		}
+	}
+	// Two snapshots must be structurally identical (modulo heartbeat age).
+	a, b := coord.Status(), coord.Status()
+	for i := range a.Placements {
+		if a.Placements[i] != b.Placements[i] {
+			t.Errorf("placement %d unstable across snapshots", i)
 		}
 	}
 }

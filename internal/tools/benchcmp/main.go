@@ -1,0 +1,114 @@
+// Command benchcmp compares two `go test -json` benchmark outputs and
+// fails (exit 1) when the head run regresses a named benchmark's
+// records/sec metric beyond a threshold. CI's bench-smoke job uses it to
+// gate the streamout throughput benchmark against the base commit:
+//
+//	go run ./internal/tools/benchcmp \
+//	    -bench BenchmarkStreamOutThroughput/batch-64 \
+//	    -max-regress 0.20 BENCH_base.json BENCH_pr.json
+//
+// Each input may contain multiple runs of the benchmark (-count > 1); the
+// best run on each side is compared, which damps scheduler noise on
+// shared CI machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of test2json's event schema benchcmp reads.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// bestMetric scans a `go test -json` file for result lines of the named
+// benchmark and returns the best (highest) value of the given unit.
+// test2json splits one benchmark result line across several output
+// events, so the output stream is reassembled before parsing.
+func bestMetric(path, bench, unit string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate interleaved non-JSON lines
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	best := -1.0
+	for _, line := range strings.Split(text.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], bench) {
+			continue
+		}
+		// The name may carry a -N GOMAXPROCS suffix.
+		if rest := fields[0][len(bench):]; rest != "" && !strings.HasPrefix(rest, "-") {
+			continue
+		}
+		// Result lines read "<name> <iters> <value> <unit> <value> <unit>...".
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != unit {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err == nil && v > best {
+				best = v
+			}
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("%s: no %q result with unit %q", path, bench, unit)
+	}
+	return best, nil
+}
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name to compare (required)")
+	unit := flag.String("unit", "records/sec", "metric unit to compare (higher is better)")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional regression")
+	allowMissingBase := flag.Bool("allow-missing-base", false, "exit 0 when the base file lacks the benchmark (a pre-benchmark base commit)")
+	flag.Parse()
+	if *bench == "" || flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -bench NAME [-unit U] [-max-regress F] BASE.json HEAD.json")
+		os.Exit(2)
+	}
+	base, err := bestMetric(flag.Arg(0), *bench, *unit)
+	if err != nil {
+		if *allowMissingBase {
+			fmt.Printf("no base result for %s (%v); skipping comparison\n", *bench, err)
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "benchcmp: base:", err)
+		os.Exit(2)
+	}
+	head, err := bestMetric(flag.Arg(1), *bench, *unit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: head:", err)
+		os.Exit(2)
+	}
+	change := head/base - 1
+	fmt.Printf("%s %s: base=%.0f head=%.0f (%+.1f%%)\n", *bench, *unit, base, head, change*100)
+	if head < base*(1-*maxRegress) {
+		fmt.Printf("FAIL: regression exceeds the %.0f%% budget\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
