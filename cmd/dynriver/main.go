@@ -27,10 +27,19 @@
 // Killing one node process mid-clip makes the coordinator re-place its
 // segments on the survivor and redirect the stream; the sink reports the
 // scope repairs instead of corrupt ensembles.
+//
+// With -state the coordinator is durable: killing and restarting the
+// coordinator process over the same directory leaves the data plane
+// untouched — node agents keep their segments running, reconnect with
+// backoff, and are adopted by the restarted coordinator (now one epoch
+// higher) instead of being re-placed:
+//
+//	dynriver coord -listen :7100 -sink 127.0.0.1:7103 -segments extract -state /var/lib/dynriver
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -84,9 +93,9 @@ func usage() {
   dynriver station (-to HOST:PORT | -coord HOST:PORT) [-clips N] [-seed S] [-seconds SEC] [-batch N]
   dynriver segment -type extract|spectral|full -listen ADDR -to HOST:PORT
   dynriver sink -listen ADDR [-conns N]
-  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-replicas N] [-heartbeat D] [-timeout D] [-placer POLICY]
-  dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N]
-  dynriver status -coord HOST:PORT
+  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-replicas N] [-heartbeat D] [-timeout D] [-placer POLICY] [-state DIR] [-grace D]
+  dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N] [-retry N] [-retry-max D]
+  dynriver status -coord HOST:PORT [-json]
   dynriver drain -coord HOST:PORT -seg UNIT
 
 placer policies: least-loaded (default), spread, load-aware
@@ -297,6 +306,8 @@ func runCoord(args []string) error {
 	minNodes := fs.Int("min-nodes", 1, "nodes required before the initial placement")
 	replicas := fs.Int("replicas", 1, "default replica count for segments without a :N suffix (>1 runs a splitter/merger pair)")
 	placerName := fs.String("placer", "least-loaded", "placement policy: least-loaded, spread or load-aware")
+	stateDir := fs.String("state", "", "journal placement state to this directory; a coordinator restarted over it adopts the running data plane instead of re-placing")
+	grace := fs.Duration("grace", 0, "restart grace window for agents to re-register and be adopted (default 5s; needs -state)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -341,19 +352,29 @@ func runCoord(args []string) error {
 		HeartbeatTimeout:  *timeout,
 		MinNodes:          *minNodes,
 		Placer:            placer,
+		StateDir:          *stateDir,
+		RestartGrace:      *grace,
 		Logf:              func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("coordinator listening on %s (%d segment(s) -> sink %s, placer %s)\n",
-		coord.Addr(), len(spec.Segments), *sinkAddr, *placerName)
+	durable := ""
+	if *stateDir != "" {
+		durable = fmt.Sprintf(", state %s", *stateDir)
+	}
+	fmt.Printf("coordinator listening on %s as epoch %d (%d segment(s) -> sink %s, placer %s%s)\n",
+		coord.Addr(), coord.Epoch(), len(spec.Segments), *sinkAddr, *placerName, durable)
 	<-interruptContext().Done()
 	return coord.Close()
 }
 
-// runNode runs a node agent that hosts segments the coordinator assigns,
-// reconnecting with backoff if the control connection drops.
+// runNode runs a node agent that hosts segments the coordinator assigns.
+// The agent supervises its own control sessions: started before the
+// coordinator it retries the dial with backoff, and when a session drops
+// its hosted segments keep running while it reconnects and re-registers
+// with its inventory — so a coordinator restart never touches the data
+// plane. Interrupting the process stops the hosted segments (node death).
 func runNode(args []string) error {
 	fs := flag.NewFlagSet("node", flag.ExitOnError)
 	name := fs.String("name", "", "node name (required, unique per coordinator)")
@@ -361,36 +382,35 @@ func runNode(args []string) error {
 	host := fs.String("host", "127.0.0.1", "interface hosted segments listen on (must be dialable by upstream)")
 	batch := fs.Int("batch", 64, "records per hosted streamout batch (<=1 writes per record)")
 	queue := fs.Int("queue", pipeline.DefaultQueueSize, "hosted streamin emit-queue bound (0 = direct emit)")
+	retries := fs.Int("retry", 0, "consecutive failed connection attempts before giving up (0 = retry forever)")
+	retryMax := fs.Duration("retry-max", 2*time.Second, "cap on the jittered reconnect backoff")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *name == "" || *coordAddr == "" {
 		return fmt.Errorf("node: -name and -coord are required")
 	}
-	ctx := interruptContext()
-	for ctx.Err() == nil {
-		agent := river.NewAgent(*name, *coordAddr, builtinRegistry())
-		agent.ListenHost = *host
-		agent.Node().FlushPolicy = flushPolicy(*batch)
-		agent.Node().QueueSize = *queue
-		agent.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
-		err := agent.Run(ctx)
-		if ctx.Err() != nil {
-			return nil
-		}
-		fmt.Printf("node %s: control session ended (%v); reconnecting\n", *name, err)
-		select {
-		case <-time.After(time.Second):
-		case <-ctx.Done():
-		}
+	agent := river.NewAgent(*name, *coordAddr, builtinRegistry())
+	agent.ListenHost = *host
+	agent.Node().FlushPolicy = flushPolicy(*batch)
+	agent.Node().QueueSize = *queue
+	agent.ReconnectMax = *retryMax
+	agent.DialAttempts = *retries
+	if *retries == 0 {
+		agent.DialAttempts = -1 // CLI nodes retry forever by default
 	}
-	return nil
+	agent.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	return agent.Run(interruptContext())
 }
 
-// runStatus prints a coordinator's cluster snapshot.
+// runStatus prints a coordinator's cluster snapshot, either as the
+// human-readable report or (-json) as the ClusterStatus JSON schema —
+// deterministically ordered (nodes and segments sorted by name,
+// placements in topology order), so scripts and tests can diff it.
 func runStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	coordAddr := fs.String("coord", "", "coordinator address (required)")
+	asJSON := fs.Bool("json", false, "emit the machine-readable ClusterStatus JSON instead of the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -401,7 +421,15 @@ func runStatus(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("entry: %s\nsink:  %s\n", orDash(st.EntryAddr), st.SinkAddr)
+	if *asJSON {
+		raw, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
+	}
+	fmt.Printf("epoch: %d\nentry: %s\nsink:  %s\n", st.Epoch, orDash(st.EntryAddr), st.SinkAddr)
 	fmt.Printf("nodes (%d):\n", len(st.Nodes))
 	for _, n := range st.Nodes {
 		proto := n.Proto

@@ -7,12 +7,21 @@
 // segment on the survivor and redirects the stream. The terminal stage
 // validates every record against the scope rules and reports the
 // BadCloseScope repairs that keep the stream meaningful.
+//
+// The final phase demonstrates the inverse failure: the coordinator
+// itself is killed and restarted over its journaled state directory. The
+// data plane never notices — the agents keep their segments running
+// detached, a full clip streams through while no coordinator exists, and
+// the restarted coordinator (one epoch higher) adopts the agents'
+// re-registered inventories instead of re-placing anything: zero scope
+// repairs, zero moved segments.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -69,21 +78,35 @@ func main() {
 
 	// Control plane: the coordinator owns the topology station -> extract
 	// -> terminal; the entry channel tells the station where to stream.
-	entryCh := make(chan string, 8)
-	coord, err := river.NewCoordinator(river.Config{
-		Spec: river.PipelineSpec{
-			Segments: []river.SegmentSpec{{Name: "extract", Type: "extract"}},
-			SinkAddr: terminal.Addr(),
-		},
-		HeartbeatInterval: 100 * time.Millisecond,
-		HeartbeatTimeout:  500 * time.Millisecond,
-		OnEntryChange:     func(a string) { entryCh <- a },
-		Logf:              log.Printf,
-	})
+	// The state directory makes it durable — phase 4 kills and restarts
+	// it over the same journal.
+	stateDir, err := os.MkdirTemp("", "dynriver-state-")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer coord.Close()
+	defer os.RemoveAll(stateDir)
+	entryCh := make(chan string, 8)
+	coordConfig := func(listen string) river.Config {
+		return river.Config{
+			ListenAddr: listen,
+			Spec: river.PipelineSpec{
+				Segments: []river.SegmentSpec{{Name: "extract", Type: "extract"}},
+				SinkAddr: terminal.Addr(),
+			},
+			HeartbeatInterval: 100 * time.Millisecond,
+			HeartbeatTimeout:  500 * time.Millisecond,
+			OnEntryChange:     func(a string) { entryCh <- a },
+			StateDir:          stateDir,
+			RestartGrace:      3 * time.Second,
+			Logf:              log.Printf,
+		}
+	}
+	coord, err := river.NewCoordinator(coordConfig("127.0.0.1:0"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	coordAddr := coord.Addr()
 
 	// Two node agents register; the coordinator places the segment on one.
 	type liveAgent struct {
@@ -92,7 +115,9 @@ func main() {
 	}
 	agents := map[string]*liveAgent{}
 	for _, name := range []string{"host-a", "host-b"} {
-		agent := river.NewAgent(name, coord.Addr(), reg)
+		agent := river.NewAgent(name, coordAddr, reg)
+		agent.ReconnectMin = 50 * time.Millisecond
+		agent.ReconnectMax = 500 * time.Millisecond
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
 		go func() { done <- agent.Run(ctx) }()
@@ -192,9 +217,58 @@ func main() {
 	sendClip()
 	time.Sleep(500 * time.Millisecond)
 
+	// Phase 4: kill the coordinator itself and restart it over the same
+	// state directory. The surviving agent keeps its segment running
+	// detached — a full clip streams through while no coordinator exists
+	// — and the restarted coordinator adopts the agent's re-registered
+	// inventory: same node, same address, zero repairs, zero moves.
+	placedBefore := coord.Status().Placements[0]
+	mu.Lock()
+	repairsBefore := badCloses
+	mu.Unlock()
+	fmt.Printf("phase 4: killing the coordinator (segment %q stays on %s at %s)\n",
+		placedBefore.Seg, placedBefore.Node, placedBefore.Addr)
+	if err := coord.Close(); err != nil {
+		log.Fatal(err)
+	}
+	sendClip() // the data plane flows with no coordinator at all
+	time.Sleep(300 * time.Millisecond)
+
+	coord2, err := river.NewCoordinator(coordConfig(coordAddr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord2.Close()
+	adoptDeadline := time.Now().Add(10 * time.Second)
+	for {
+		st := coord2.Status()
+		if len(st.Nodes) == 1 && st.Placements[0].Placed {
+			break
+		}
+		if time.Now().After(adoptDeadline) {
+			log.Fatal("restarted coordinator did not adopt the surviving agent")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	placedAfter := coord2.Status().Placements[0]
+	if placedAfter.Node != placedBefore.Node || placedAfter.Addr != placedBefore.Addr {
+		log.Fatalf("segment moved across the restart: %s@%s -> %s@%s (re-placed, not adopted)",
+			placedBefore.Node, placedBefore.Addr, placedAfter.Node, placedAfter.Addr)
+	}
+	mu.Lock()
+	repairsDuringRestart := badCloses - repairsBefore
+	mu.Unlock()
+	if repairsDuringRestart != 0 {
+		log.Fatalf("%d scope repairs during the coordinator bounce; the data plane must not notice", repairsDuringRestart)
+	}
+	fmt.Printf("phase 4: coordinator restarted as epoch %d and adopted %s on %s — no repairs, no moves\n",
+		coord2.Epoch(), placedAfter.Seg, placedAfter.Node)
+	sendClip()
+	time.Sleep(500 * time.Millisecond)
+
 	// The survivor's heartbeats carry the flow-control telemetry the
 	// load-aware placer feeds on; show what the healed segment reported.
-	for _, n := range coord.Status().Nodes {
+	for _, n := range coord2.Status().Nodes {
 		for _, s := range n.Segments {
 			fmt.Printf("telemetry: %s on %s processed=%d emitted=%d lag=%d queue=%d/%d out: records=%d batches=%d bytes=%d\n",
 				s.Name, n.Name, s.Processed, s.Emitted, s.LagValue(), s.QueueDepth, s.QueueCap,
@@ -212,7 +286,7 @@ func main() {
 		a.cancel()
 		<-a.done
 	}
-	coord.Close()
+	coord2.Close()
 	terminal.Close()
 	wg.Wait()
 

@@ -129,6 +129,16 @@ func (s *StreamOut) BatchesOut() uint64 { return s.bw.Batches() }
 // BytesOut returns the total encoded bytes written.
 func (s *StreamOut) BytesOut() uint64 { return s.bw.BytesWritten() }
 
+// Target returns the downstream address the streamout currently forwards
+// to — the last Redirect target, or the constructor address. A control
+// plane reads it to learn what a detached instance was last told, so a
+// restarted coordinator can reconcile instead of re-placing.
+func (s *StreamOut) Target() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
 // Redirect atomically switches the destination address; the next write
 // dials the new target. This is the mechanism pipeline recomposition uses
 // to splice a moved segment back into the stream. It returns without

@@ -114,6 +114,10 @@ type (
 	}
 	legSink interface{ SetLegs(addrs []string) }
 	closer  interface{ Close() error }
+	// targetProvider exposes a sink's current downstream address (the last
+	// redirect target); legProvider a splitter's current fan-out set.
+	targetProvider interface{ Target() string }
+	legProvider    interface{ Legs() []string }
 )
 
 // EndpointStatser lets a hosted source or sink contribute role-specific
@@ -332,6 +336,51 @@ func (n *Node) Stats() []SegmentStats {
 		default:
 		}
 		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HostedUnit is one hosted unit's identity and wiring as the data plane
+// itself knows it: the bound ingress address upstream peers dial, and the
+// downstream target(s) the egress was last pointed at. A node agent
+// reports this inventory when it (re-)registers, so a control plane that
+// lost its session — or was restarted entirely — can reconcile against
+// what is actually running instead of re-placing from scratch.
+type HostedUnit struct {
+	Name string // hosted instance name
+	Role string // "" plain, "split", "merge"
+	Addr string // bound listen address upstream dials
+	// Downstream is the egress sink's current target (segments, mergers);
+	// Legs the current fan-out set (splitters). Exactly one is set.
+	Downstream string
+	Legs       []string
+	// Failed marks a unit whose pipeline has already exited on its own.
+	Failed bool
+}
+
+// Inventory snapshots every hosted unit's wiring, sorted by name.
+func (n *Node) Inventory() []HostedUnit {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]HostedUnit, 0, len(n.hosted))
+	for name, h := range n.hosted {
+		u := HostedUnit{Name: name, Role: h.role}
+		if ap, ok := h.src.(addrProvider); ok {
+			u.Addr = ap.Addr()
+		}
+		if tp, ok := h.sink.(targetProvider); ok {
+			u.Downstream = tp.Target()
+		}
+		if lp, ok := h.sink.(legProvider); ok {
+			u.Legs = lp.Legs()
+		}
+		select {
+		case <-h.done:
+			u.Failed = true
+		default:
+		}
+		out = append(out, u)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -3,6 +3,7 @@ package river
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -15,6 +16,13 @@ import (
 // coordinator, heartbeats the counters of the segments it hosts, and
 // executes assign/redirect/stop commands by driving a pipeline.Node whose
 // segments are instantiated from the application's registry.
+//
+// Hosted segment lifetime is owned by the data plane, not by the control
+// session: when the control connection drops (coordinator bounce, network
+// blip) the segments keep running and the agent reconnects with jittered
+// backoff, re-registering with a full hosted-unit inventory so the
+// coordinator can adopt the live instances instead of re-placing them.
+// Node death remains ctx cancellation, which stops every hosted segment.
 type Agent struct {
 	name      string
 	coordAddr string
@@ -32,24 +40,50 @@ type Agent struct {
 	// an immediate redirect (default 3s; must stay inside the
 	// coordinator's RPCTimeout).
 	DrainWindow time.Duration
+	// ReconnectMin and ReconnectMax bound the jittered backoff between
+	// control-session attempts (defaults 100ms and 2s). The backoff
+	// doubles from min to max and each sleep is jittered ±50% so a
+	// restarted coordinator is not hit by every agent at once.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// DialAttempts bounds consecutive failed session attempts (dial
+	// errors and register rejections) before Run gives up, so startup
+	// order doesn't matter — an agent started before its coordinator
+	// simply retries — but a misconfigured address still fails. The
+	// counter resets every time a session registers successfully.
+	// Default 60; <0 retries forever.
+	DialAttempts int
 	// Logf, when set, receives agent event logs.
 	Logf func(format string, args ...any)
 
 	mu    sync.Mutex
-	types map[string]string // segment instance -> registry type
+	units map[string]unitMeta // hosted instance name -> control metadata
+}
+
+// unitMeta is what the agent itself must remember about a hosted unit to
+// rebuild its inventory entry: the registry type and replication identity
+// the data plane does not know.
+type unitMeta struct {
+	typ   string // registry type ("" for splitter/merger endpoints)
+	role  string
+	group string
+	epoch uint16 // splitter incarnation from the assign
 }
 
 // NewAgent returns an agent named name that will serve coordinator
 // coordAddr, instantiating segments from reg.
 func NewAgent(name, coordAddr string, reg *pipeline.Registry) *Agent {
 	return &Agent{
-		name:        name,
-		coordAddr:   coordAddr,
-		node:        pipeline.NewNode(name, reg),
-		ListenHost:  "127.0.0.1",
-		Heartbeat:   250 * time.Millisecond,
-		DrainWindow: 3 * time.Second,
-		types:       make(map[string]string),
+		name:         name,
+		coordAddr:    coordAddr,
+		node:         pipeline.NewNode(name, reg),
+		ListenHost:   "127.0.0.1",
+		Heartbeat:    250 * time.Millisecond,
+		DrainWindow:  3 * time.Second,
+		ReconnectMin: 100 * time.Millisecond,
+		ReconnectMax: 2 * time.Second,
+		DialAttempts: 60,
+		units:        make(map[string]unitMeta),
 	}
 }
 
@@ -59,20 +93,67 @@ func (a *Agent) Name() string { return a.name }
 // Node exposes the underlying segment host for inspection.
 func (a *Agent) Node() *pipeline.Node { return a.node }
 
-// Run connects to the coordinator and serves its commands until ctx is
-// cancelled or the control connection drops. All hosted segments are
-// stopped on the way out, so cancelling ctx kills the node's share of the
-// data plane too — this is what "node death" means in tests and demos.
+// Run supervises the agent until ctx is cancelled: it dials the
+// coordinator (retrying with jittered backoff, so the agent may be
+// started before the coordinator is up), serves control sessions, and
+// reconnects when a session drops — hosted segments keep running across
+// the gap. All hosted segments are stopped on the way out, so cancelling
+// ctx kills the node's share of the data plane too — this is what "node
+// death" means in tests and demos. A non-nil error means the agent gave
+// up after DialAttempts consecutive failed session attempts.
 func (a *Agent) Run(ctx context.Context) error {
+	defer func() { _ = a.node.StopAll() }()
+	min := a.ReconnectMin
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	backoff := min
+	failures := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		registered, err := a.session(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if registered {
+			failures = 0
+			backoff = min
+			a.logf("control session ended (%v); %d segment(s) stay up, reconnecting", err, len(a.node.Hosted()))
+		} else {
+			failures++
+			if a.DialAttempts >= 0 && failures >= a.DialAttempts {
+				return fmt.Errorf("river: agent %s: giving up after %d failed attempts: %w", a.name, failures, err)
+			}
+		}
+		// Jittered exponential backoff between attempts.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		backoff *= 2
+		if max := a.ReconnectMax; max > 0 && backoff > max {
+			backoff = max
+		}
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// session runs one control session: dial, register with the hosted-unit
+// inventory, then serve coordinator commands until the connection drops
+// or ctx is cancelled. registered reports whether the coordinator
+// accepted the registration (the supervisor's backoff-budget signal).
+func (a *Agent) session(ctx context.Context) (registered bool, err error) {
 	conn, err := (&net.Dialer{Timeout: 5 * time.Second}).DialContext(ctx, "tcp", a.coordAddr)
 	if err != nil {
-		return fmt.Errorf("river: agent %s: dial coordinator: %w", a.name, err)
+		return false, fmt.Errorf("river: agent %s: dial coordinator: %w", a.name, err)
 	}
 	w := newWire(conn)
 	// Teardown order (LIFO): close the wire so blocked sends/reads fail,
-	// signal stop so helper goroutines exit, wait for them, then stop the
-	// hosted segments.
-	defer func() { _ = a.node.StopAll() }()
+	// signal stop so helper goroutines exit, wait for them. The hosted
+	// segments are NOT touched — their lifetime belongs to Run.
 	var hb sync.WaitGroup
 	defer hb.Wait()
 	stop := make(chan struct{})
@@ -87,70 +168,148 @@ func (a *Agent) Run(ctx context.Context) error {
 		}
 	}()
 
-	if err := w.send(&Message{Type: TypeRegister, Node: a.name, Ver: ProtocolVersion}); err != nil {
-		return err
+	reg := &Message{Type: TypeRegister, Node: a.name, Ver: ProtocolVersion, Inventory: a.inventory()}
+	if err := w.send(reg); err != nil {
+		return false, err
+	}
+	// Wait for the register ack, which carries the adoption verdict for
+	// our inventory. The coordinator publishes us to its reconcile loop
+	// before its ack send executes, so a command (assign, redirect) can
+	// legitimately arrive first — buffer those and replay them after the
+	// ack's stop list has been applied, so a stop verdict can never kill
+	// an instance a buffered re-assign just created.
+	var ack *Message
+	var pending []*Message
+	for ack == nil {
+		msg, err := w.recv()
+		if err != nil {
+			return false, fmt.Errorf("river: agent %s: register: %w", a.name, err)
+		}
+		if msg.Type == TypeAck {
+			ack = msg
+			break
+		}
+		pending = append(pending, msg)
+	}
+	if ack.Err != "" {
+		// Typically "name already registered": the coordinator has not
+		// noticed our previous session die yet. Retryable — the
+		// supervisor backs off and the coordinator expires the stale
+		// session by heartbeat timeout.
+		return false, fmt.Errorf("river: agent %s: register rejected: %s", a.name, ack.Err)
+	}
+	if len(reg.Inventory) > 0 {
+		a.logf("re-registered with %d unit(s): %d adopted (coordinator epoch %d)",
+			len(reg.Inventory), len(ack.Adopted), ack.CoordEpoch)
+	}
+	for _, name := range ack.StopUnits {
+		if err := a.stopSegment(name); err != nil {
+			a.logf("stop of unwanted unit %s: %v", name, err)
+		} else {
+			a.logf("stopped unwanted unit %s", name)
+		}
+	}
+	interval := a.Heartbeat
+	if ack.HeartbeatMS > 0 {
+		interval = time.Duration(ack.HeartbeatMS) * time.Millisecond
 	}
 	intervalCh := make(chan time.Duration, 1)
 	hb.Add(1)
 	go func() {
 		defer hb.Done()
-		a.heartbeatLoop(ctx, w, intervalCh, stop)
+		a.heartbeatLoop(ctx, w, interval, intervalCh, stop)
 	}()
 
+	for _, msg := range pending {
+		a.dispatch(w, msg, intervalCh)
+	}
 	for {
 		msg, err := w.recv()
 		if err != nil {
-			if ctx.Err() != nil {
-				return nil
-			}
-			return fmt.Errorf("river: agent %s: control connection lost: %w", a.name, err)
+			return true, fmt.Errorf("river: agent %s: control connection lost: %w", a.name, err)
 		}
-		switch msg.Type {
-		case TypeAck:
-			// The register ack; anything else unsolicited is ignored.
-			if msg.Err != "" {
-				return fmt.Errorf("river: agent %s: register rejected: %s", a.name, msg.Err)
+		a.dispatch(w, msg, intervalCh)
+	}
+}
+
+// dispatch executes one coordinator command (or folds in an unsolicited
+// ack's heartbeat interval) and replies.
+func (a *Agent) dispatch(w *wire, msg *Message, intervalCh chan<- time.Duration) {
+	switch msg.Type {
+	case TypeAck:
+		// Unsolicited ack (e.g. a re-sent register ack); only the
+		// heartbeat interval matters.
+		if msg.HeartbeatMS > 0 {
+			select {
+			case intervalCh <- time.Duration(msg.HeartbeatMS) * time.Millisecond:
+			default:
 			}
-			if msg.HeartbeatMS > 0 {
-				select {
-				case intervalCh <- time.Duration(msg.HeartbeatMS) * time.Millisecond:
-				default:
+		}
+	case TypeAssign:
+		a.handleAssign(w, msg)
+	case TypeRedirect:
+		if msg.Boundary {
+			// A planned drain: wait (off the control loop, so
+			// heartbeat-paced commands keep flowing) for the splice to
+			// land at a scope boundary before acking, so the
+			// coordinator knows the old instance's stream has ended
+			// cleanly when it proceeds to stop it.
+			go func(msg *Message) {
+				atBoundary, err := a.node.RedirectAtBoundary(msg.Seg, msg.Downstream, a.DrainWindow)
+				a.reply(w, msg.ID, err, "")
+				if err == nil {
+					a.logf("segment %s drained to %s (boundary=%v)", msg.Seg, msg.Downstream, atBoundary)
 				}
-			}
-		case TypeAssign:
-			a.handleAssign(w, msg)
-		case TypeRedirect:
-			if msg.Boundary {
-				// A planned drain: wait (off the control loop, so
-				// heartbeat-paced commands keep flowing) for the splice to
-				// land at a scope boundary before acking, so the
-				// coordinator knows the old instance's stream has ended
-				// cleanly when it proceeds to stop it.
-				go func(msg *Message) {
-					atBoundary, err := a.node.RedirectAtBoundary(msg.Seg, msg.Downstream, a.DrainWindow)
-					a.reply(w, msg.ID, err, "")
-					if err == nil {
-						a.logf("segment %s drained to %s (boundary=%v)", msg.Seg, msg.Downstream, atBoundary)
-					}
-				}(msg)
-				continue
-			}
-			a.reply(w, msg.ID, a.node.Redirect(msg.Seg, msg.Downstream), "")
-			a.logf("segment %s redirected to %s", msg.Seg, msg.Downstream)
-		case TypeLegs:
-			err := a.node.SetLegs(msg.Seg, msg.Downstreams)
-			a.reply(w, msg.ID, err, "")
-			if err == nil {
-				a.logf("splitter %s legs now %v", msg.Seg, msg.Downstreams)
-			}
-		case TypeStop:
-			err := a.stopSegment(msg.Seg)
-			a.reply(w, msg.ID, err, "")
-			if err == nil {
-				a.logf("segment %s stopped", msg.Seg)
-			}
+			}(msg)
+			return
+		}
+		a.reply(w, msg.ID, a.node.Redirect(msg.Seg, msg.Downstream), "")
+		a.logf("segment %s redirected to %s", msg.Seg, msg.Downstream)
+	case TypeLegs:
+		err := a.node.SetLegs(msg.Seg, msg.Downstreams)
+		a.reply(w, msg.ID, err, "")
+		if err == nil {
+			a.logf("splitter %s legs now %v", msg.Seg, msg.Downstreams)
+		}
+	case TypeStop:
+		err := a.stopSegment(msg.Seg)
+		a.reply(w, msg.ID, err, "")
+		if err == nil {
+			a.logf("segment %s stopped", msg.Seg)
 		}
 	}
+}
+
+// inventory snapshots the hosted units for a register message: the data
+// plane's own view of each unit's wiring (bound address, current
+// downstream/legs) joined with the control metadata remembered from its
+// assign (registry type, replication identity).
+func (a *Agent) inventory() []UnitInventory {
+	hosted := a.node.Inventory()
+	stats := a.node.Stats()
+	byName := make(map[string]pipeline.SegmentStats, len(stats))
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]UnitInventory, 0, len(hosted))
+	for _, h := range hosted {
+		meta := a.units[h.Name]
+		inv := UnitInventory{
+			Name: h.Name, Type: meta.typ, Role: meta.role, Group: meta.group,
+			Addr: h.Addr, Downstream: h.Downstream, Legs: h.Legs,
+			Epoch: meta.epoch, Failed: h.Failed,
+		}
+		if meta.role != "" {
+			inv.Type = "" // endpoints have no registry type
+		}
+		if s, ok := byName[h.Name]; ok {
+			inv.Processed, inv.Emitted = s.Processed, s.Emitted
+		}
+		out = append(out, inv)
+	}
+	return out
 }
 
 // handleAssign hosts (or re-hosts) a segment, a replication splitter or a
@@ -160,7 +319,7 @@ func (a *Agent) handleAssign(w *wire, msg *Message) {
 	// A re-assign of a name we already host replaces the instance, so a
 	// coordinator retrying after a lost ack converges instead of erroring.
 	a.mu.Lock()
-	_, exists := a.types[msg.Seg]
+	_, exists := a.units[msg.Seg]
 	a.mu.Unlock()
 	if exists {
 		_ = a.stopSegment(msg.Seg)
@@ -179,13 +338,13 @@ func (a *Agent) handleAssign(w *wire, msg *Message) {
 		a.reply(w, msg.ID, err, "")
 		return
 	}
+	a.mu.Lock()
+	a.units[msg.Seg] = unitMeta{typ: msg.SegType, role: msg.Role, group: msg.Group, epoch: msg.Epoch}
+	a.mu.Unlock()
 	typ := msg.SegType
 	if msg.Role != "" {
 		typ = msg.Role
 	}
-	a.mu.Lock()
-	a.types[msg.Seg] = typ
-	a.mu.Unlock()
 	a.reply(w, msg.ID, nil, addr)
 	a.logf("hosting %s (%s) at %s -> %s%v", msg.Seg, typ, addr, msg.Downstream, msg.Downstreams)
 }
@@ -229,7 +388,7 @@ func (a *Agent) hostMerger(msg *Message) (string, error) {
 
 func (a *Agent) stopSegment(segName string) error {
 	a.mu.Lock()
-	delete(a.types, segName)
+	delete(a.units, segName)
 	a.mu.Unlock()
 	return a.node.Stop(segName)
 }
@@ -244,8 +403,10 @@ func (a *Agent) reply(w *wire, id uint64, err error, addr string) {
 
 // heartbeatLoop beats segment counters to the coordinator until the
 // session ends; the interval follows the coordinator's register ack.
-func (a *Agent) heartbeatLoop(ctx context.Context, w *wire, intervalCh <-chan time.Duration, stop <-chan struct{}) {
-	interval := a.Heartbeat
+func (a *Agent) heartbeatLoop(ctx context.Context, w *wire, interval time.Duration, intervalCh <-chan time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -274,9 +435,14 @@ func (a *Agent) segmentStats() []SegmentStatus {
 	defer a.mu.Unlock()
 	out := make([]SegmentStatus, len(stats))
 	for i, s := range stats {
+		meta := a.units[s.Name]
+		typ := meta.typ
+		if meta.role != "" {
+			typ = meta.role
+		}
 		out[i] = SegmentStatus{
 			Name:       s.Name,
-			Type:       a.types[s.Name],
+			Type:       typ,
 			Addr:       s.Addr,
 			Processed:  s.Processed,
 			Emitted:    s.Emitted,

@@ -67,6 +67,19 @@ type Config struct {
 	// address changes — the hook an in-process source uses to Redirect
 	// its streamout. Called from coordinator goroutines; keep it brief.
 	OnEntryChange func(addr string)
+	// StateDir, when set, makes the coordinator durable: every placement
+	// mutation is journaled there (append-only JSON log, compacted into a
+	// periodic snapshot), and a coordinator restarted over the same
+	// directory reloads the tables, advances its epoch, and reconciles
+	// re-registering agents' hosted-unit inventories against the reloaded
+	// desired state instead of re-placing a data plane that never stopped.
+	StateDir string
+	// RestartGrace is how long a restarted coordinator waits for the
+	// agents named by its reloaded placements to re-register and be
+	// adopted before declaring their units lost and re-placing them
+	// (default 5s; only meaningful with StateDir). It must comfortably
+	// cover the agents' reconnect backoff.
+	RestartGrace time.Duration
 	// Logf, when set, receives control-plane event logs.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.MinNodes < 1 {
 		c.MinNodes = 1
 	}
+	if c.RestartGrace <= 0 {
+		c.RestartGrace = 5 * time.Second
+	}
 	return c
 }
 
@@ -109,51 +125,11 @@ type member struct {
 	gone    bool
 }
 
-// unit is one placeable instance derived from the spec: a plain segment,
-// or one of the merger/replica/splitter roles a replicated segment
-// expands into. Unit names double as the hosted instance names on agents.
-type unit struct {
-	name  string // placement key, e.g. "extract" or "extract/r2"
-	group string // owning spec segment name
-	typ   string // registry type ("" for splitter/merger endpoints)
-	role  string // "", RoleSplit, RoleMerge, RoleReplica
-	idx   int    // replica ordinal (1-based) for RoleReplica
-}
-
-// expandSpec derives the placement units of one spec segment, in
-// placement order: downstream-most first (merger, then replicas, then the
-// splitter — which is the group's entry point for upstream traffic).
-func expandSpec(sp SegmentSpec) []unit {
-	if sp.Replicas <= 1 {
-		return []unit{{name: sp.Name, group: sp.Name, typ: sp.Type}}
-	}
-	us := make([]unit, 0, sp.Replicas+2)
-	us = append(us, unit{name: sp.Name + "/merge", group: sp.Name, role: RoleMerge})
-	for i := 1; i <= sp.Replicas; i++ {
-		us = append(us, unit{
-			name: fmt.Sprintf("%s/r%d", sp.Name, i), group: sp.Name,
-			typ: sp.Type, role: RoleReplica, idx: i,
-		})
-	}
-	return append(us, unit{name: sp.Name + "/split", group: sp.Name, role: RoleSplit})
-}
-
-// placement records where one unit currently runs; node and addr are
-// empty while it awaits (re-)placement. down and legs record the
-// downstream target(s) the live instance was last told, so the reconcile
-// loop can re-splice declaratively whenever the desired target moves.
-type placement struct {
-	u     unit
-	node  string
-	addr  string
-	down  string   // single downstream last told (segments, mergers)
-	legs  []string // splitter fan-out last told (sorted)
-	epoch uint16   // splitter incarnation assigned
-}
-
 // Coordinator owns the desired pipeline topology and drives registered
 // node agents to realize it. It is started by NewCoordinator and stopped
-// by Close.
+// by Close. The topology tables live in a state (see state.go) whose
+// mutations are journaled when Config.StateDir is set, making the
+// coordinator restartable without disturbing the data plane.
 type Coordinator struct {
 	cfg    Config
 	ln     net.Listener
@@ -163,23 +139,19 @@ type Coordinator struct {
 	kick   chan struct{}
 	closed sync.Once
 
-	// units is every placement unit in topology order (upstream spec
-	// last... see reconcile); unitsBySpec groups them per spec segment,
-	// specIndex maps a spec name to its chain position. All three are
-	// immutable after NewCoordinator.
-	units       []unit
-	unitsBySpec [][]unit
-	specIndex   map[string]int
+	// graceUntil, when in the future, marks the restart grace window: the
+	// reloaded placements name agents that have not re-registered yet,
+	// and until the window closes their units are presumed to still be
+	// running detached rather than lost. Immutable after NewCoordinator.
+	graceUntil time.Time
 
 	// drainMu serializes planned drains so two operators cannot move the
 	// same stretch of the chain concurrently.
 	drainMu sync.Mutex
 
 	mu           sync.Mutex
+	st           *state // topology tables + journaling commit hooks
 	nodes        map[string]*member
-	placements   map[string]*placement
-	epochs       map[string]uint16 // per-group splitter incarnations
-	entryAddr    string
 	watchers     map[*wire]struct{}
 	conns        map[net.Conn]struct{}
 	nextID       uint64
@@ -228,37 +200,73 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		}
 		seen[sp.Name] = true
 	}
+	logf := func(format string, args ...any) {
+		if cfg.Logf != nil {
+			cfg.Logf("coordinator: "+format, args...)
+		}
+	}
+	st, restored, err := newState(cfg.StateDir, cfg.Spec, logf)
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
+		st.close()
 		return nil, fmt.Errorf("river: coordinator listen %s: %w", cfg.ListenAddr, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:        cfg,
-		ln:         ln,
-		ctx:        ctx,
-		cancel:     cancel,
-		kick:       make(chan struct{}, 1),
-		specIndex:  make(map[string]int),
-		nodes:      make(map[string]*member),
-		placements: make(map[string]*placement),
-		epochs:     make(map[string]uint16),
-		watchers:   make(map[*wire]struct{}),
-		conns:      make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		ctx:      ctx,
+		cancel:   cancel,
+		kick:     make(chan struct{}, 1),
+		st:       st,
+		nodes:    make(map[string]*member),
+		watchers: make(map[*wire]struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
-	for i, sp := range cfg.Spec.Segments {
-		us := expandSpec(sp)
-		c.unitsBySpec = append(c.unitsBySpec, us)
-		c.specIndex[sp.Name] = i
-		for _, u := range us {
-			c.units = append(c.units, u)
-			c.placements[u.name] = &placement{u: u}
-		}
+	if restored && st.hasPlacements() {
+		// Prior placements survived on disk — and, with v4 agents, their
+		// instances survived in memory on the (still-running) nodes. Open
+		// the grace window: until it closes, units whose host has not
+		// re-registered are presumed alive and are not re-placed, so a
+		// coordinator bounce under streaming load repairs nothing. The
+		// cluster necessarily bootstrapped before those placements were
+		// made, so MinNodes must not gate post-grace re-placement.
+		c.bootstrapped = true
+		c.graceUntil = time.Now().Add(cfg.RestartGrace)
+		logf("restarted as epoch %d with %d reloaded placement(s); adopting agents for %s",
+			st.epoch, len(placedNames(st)), cfg.RestartGrace)
 	}
 	c.wg.Add(2)
 	go c.acceptLoop()
 	go c.reconcileLoop()
 	return c, nil
+}
+
+// placedNames lists the units the state currently places, for logs.
+func placedNames(st *state) []string {
+	var out []string
+	for _, u := range st.units {
+		if st.placements[u.name].node != "" {
+			out = append(out, u.name)
+		}
+	}
+	return out
+}
+
+// inGrace reports whether the restart grace window is still open.
+func (c *Coordinator) inGrace() bool {
+	return !c.graceUntil.IsZero() && time.Now().Before(c.graceUntil)
+}
+
+// Epoch returns the coordinator incarnation: 1 for a fresh coordinator,
+// advancing by one on every restart from journaled state.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.epoch
 }
 
 // Addr returns the bound control listen address agents and clients dial.
@@ -269,7 +277,7 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 func (c *Coordinator) EntryAddr() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.entryAddr
+	return c.st.entryAddr
 }
 
 // Close stops the coordinator: the listener and every control connection
@@ -286,6 +294,9 @@ func (c *Coordinator) Close() error {
 		c.mu.Unlock()
 	})
 	c.wg.Wait()
+	c.mu.Lock()
+	c.st.close()
+	c.mu.Unlock()
 	return nil
 }
 
@@ -311,10 +322,10 @@ func (c *Coordinator) WaitPlaced(ctx context.Context) error {
 func (c *Coordinator) allPlaced() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.entryAddr == "" {
+	if c.st.entryAddr == "" {
 		return false
 	}
-	for _, p := range c.placements {
+	for _, p := range c.st.placements {
 		if p.node == "" {
 			return false
 		}
@@ -330,7 +341,8 @@ func (c *Coordinator) Status() *ClusterStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := &ClusterStatus{
-		EntryAddr: c.entryAddr,
+		Epoch:     c.st.epoch,
+		EntryAddr: c.st.entryAddr,
 		SinkAddr:  c.cfg.Spec.SinkAddr,
 	}
 	names := make([]string, 0, len(c.nodes))
@@ -350,8 +362,8 @@ func (c *Coordinator) Status() *ClusterStatus {
 			Proto:      m.proto,
 		})
 	}
-	for _, u := range c.units {
-		p := c.placements[u.name]
+	for _, u := range c.st.units {
+		p := c.st.placements[u.name]
 		ps := PlacementStatus{
 			Seg:    u.name,
 			Type:   u.typ,
@@ -471,12 +483,32 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 		return
 	}
 	c.nodes[name] = m
+	// Reconcile the agent's hosted-unit inventory against the desired
+	// state: adopt what matches (the v4 detach/re-register path — after a
+	// control blip or a coordinator restart the instances never stopped),
+	// tell the agent to stop the rest, and free anything the tables
+	// expected on this node that is no longer running. A pre-v4 register
+	// carries no inventory, which is accurate, and frees everything.
+	adopted, stops := c.st.adopt(name, reg.Inventory)
+	if len(reg.Inventory) > 0 {
+		m.stats = inventoryStats(reg.Inventory)
+	}
+	epoch := c.st.epoch
 	c.mu.Unlock()
-	if err := w.send(&Message{Type: TypeAck, Ver: ProtocolVersion, HeartbeatMS: c.cfg.HeartbeatInterval.Milliseconds()}); err != nil {
+	ack := &Message{
+		Type: TypeAck, Ver: ProtocolVersion,
+		HeartbeatMS: c.cfg.HeartbeatInterval.Milliseconds(),
+		CoordEpoch:  epoch, Adopted: adopted, StopUnits: stops,
+	}
+	if err := w.send(ack); err != nil {
 		c.markDead(name, "register ack failed")
 		return
 	}
-	c.logf("node %s registered (proto v%d)", name, proto)
+	if len(adopted) > 0 || len(stops) > 0 {
+		c.logf("node %s registered (proto v%d): adopted %v, stopping %v", name, proto, adopted, stops)
+	} else {
+		c.logf("node %s registered (proto v%d)", name, proto)
+	}
 	c.kickReconcile()
 	for {
 		msg, err := w.recv()
@@ -499,8 +531,8 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 				if !s.Failed {
 					continue
 				}
-				if p := c.placements[s.Name]; p != nil && p.node == name && p.addr == s.Addr {
-					p.node, p.addr, p.down, p.legs = "", "", "", nil
+				if p := c.st.placements[s.Name]; p != nil && p.node == name && p.addr == s.Addr {
+					c.st.clear(p)
 					c.pendingStops = append(c.pendingStops, stopReq{node: name, seg: s.Name})
 					failed = append(failed, s.Name)
 				}
@@ -525,6 +557,25 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 	}
 }
 
+// inventoryStats seeds a re-registering member's segment telemetry from
+// its inventory, so status (and placement policy) have counters before
+// the first heartbeat lands.
+func inventoryStats(inv []UnitInventory) []SegmentStatus {
+	out := make([]SegmentStatus, len(inv))
+	for i, iu := range inv {
+		typ := iu.Type
+		if typ == "" {
+			typ = iu.Role
+		}
+		out[i] = SegmentStatus{
+			Name: iu.Name, Type: typ, Addr: iu.Addr, Role: iu.Role,
+			Processed: iu.Processed, Emitted: iu.Emitted,
+			Legs: len(iu.Legs), Failed: iu.Failed,
+		}
+	}
+	return out
+}
+
 // serveWatcher streams entry-address updates to one subscriber until its
 // connection drops.
 func (c *Coordinator) serveWatcher(w *wire) {
@@ -537,7 +588,7 @@ func (c *Coordinator) serveWatcher(w *wire) {
 	lastSent := ""
 	for {
 		c.mu.Lock()
-		cur := c.entryAddr
+		cur := c.st.entryAddr
 		c.mu.Unlock()
 		if cur == lastSent {
 			break
@@ -565,6 +616,15 @@ func (c *Coordinator) dropWatcher(w *wire) {
 // markDead removes a node and frees its units for re-placement; in-flight
 // RPCs against it fail immediately.
 func (c *Coordinator) markDead(name, reason string) {
+	if c.ctx.Err() != nil {
+		// The coordinator itself is shutting down: agent sessions are
+		// ending because Close cut them, not because nodes died. Leave
+		// the placement tables — and their journal — untouched, so a
+		// coordinator restarted over the state directory adopts the
+		// still-running instances instead of re-placing a healthy data
+		// plane. (In-flight RPCs fail via the coordinator context.)
+		return
+	}
 	c.mu.Lock()
 	m := c.nodes[name]
 	if m == nil || m.gone {
@@ -578,9 +638,9 @@ func (c *Coordinator) markDead(name, reason string) {
 	}
 	m.pending = nil
 	var lost []string
-	for _, u := range c.units {
-		if p := c.placements[u.name]; p.node == name {
-			p.node, p.addr, p.down, p.legs = "", "", "", nil
+	for _, u := range c.st.units {
+		if p := c.st.placements[u.name]; p.node == name {
+			c.st.clear(p)
 			lost = append(lost, u.name)
 		}
 	}
@@ -668,7 +728,7 @@ func (c *Coordinator) reconcile() {
 		if i < len(specs)-1 {
 			down = c.entryAddrOf(i + 1)
 		}
-		us := c.unitsBySpec[i]
+		us := c.st.unitsBySpec[i]
 		if len(us) == 1 {
 			c.ensureUnit(us[0], down)
 			continue
@@ -691,21 +751,40 @@ func (c *Coordinator) reconcile() {
 // last unit: the plain segment, or the group's splitter), or "" while
 // unplaced.
 func (c *Coordinator) entryAddrOf(i int) string {
-	us := c.unitsBySpec[i]
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.placements[us[len(us)-1].name].addr
+	us := c.st.unitsBySpec[i]
+	return c.st.placements[us[len(us)-1].name].addr
+}
+
+// unitHost reads a unit's placement and resolves the restart grace
+// window: a unit placed on a node that has not (re-)registered is left
+// untouched while the window is open — its instance is presumed to still
+// be running detached, so its address stays valid for splicing — and is
+// freed for re-placement once the window closes. It returns the
+// placement plus a live flag; !live means "hands off this pass".
+func (c *Coordinator) unitHost(u unit) (p *placement, node, addr, down string, legs []string, live bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p = c.st.placements[u.name]
+	if p.node != "" {
+		if _, registered := c.nodes[p.node]; !registered {
+			if c.inGrace() {
+				return p, p.node, p.addr, p.down, p.legs, false
+			}
+			c.logf("unit %s lost: node %s never re-registered within the grace window; re-placing", u.name, p.node)
+			c.st.clear(p)
+		}
+	}
+	return p, p.node, p.addr, p.down, append([]string(nil), p.legs...), true
 }
 
 // ensureUnit places unit u (forwarding to down) if it is unplaced, or
 // re-splices its live instance if the desired downstream moved. It
 // returns the unit's current address ("" while unplaced or blocked).
 func (c *Coordinator) ensureUnit(u unit, down string) string {
-	c.mu.Lock()
-	p := c.placements[u.name]
-	node, addr, cur := p.node, p.addr, p.down
-	c.mu.Unlock()
-	if down == "" {
+	p, node, addr, cur, _, live := c.unitHost(u)
+	if !live || down == "" {
 		return addr
 	}
 	if node == "" {
@@ -730,7 +809,20 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 			c.mu.Unlock()
 			return ""
 		}
+		if p.node != "" {
+			// A re-registering agent's surviving instance was adopted
+			// back while our assign was in flight: keep the survivor
+			// (it is already wired into the stream) and stop the
+			// fresh duplicate.
+			c.pendingStops = append(c.pendingStops, stopReq{node: pick, seg: u.name})
+			addr := p.addr
+			c.mu.Unlock()
+			c.kickReconcile()
+			c.logf("segment %s adopted on %s during assign; stopping duplicate on %s", u.name, p.node, pick)
+			return addr
+		}
 		p.node, p.addr, p.down = pick, a, down
+		c.st.commit(p)
 		c.mu.Unlock()
 		c.logf("segment %s placed on %s at %s", u.name, pick, a)
 		return a
@@ -744,6 +836,7 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 		}
 		c.mu.Lock()
 		p.down = down
+		c.st.commit(p)
 		c.mu.Unlock()
 		c.logf("%s re-spliced to %s", u.name, down)
 	}
@@ -757,11 +850,8 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 // splitter's numbering from its predecessor's.
 func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 	sort.Strings(legs)
-	c.mu.Lock()
-	p := c.placements[u.name]
-	node, addr, last := p.node, p.addr, append([]string(nil), p.legs...)
-	c.mu.Unlock()
-	if len(legs) == 0 {
+	p, node, addr, _, last, live := c.unitHost(u)
+	if !live || len(legs) == 0 {
 		return addr
 	}
 	if node == "" {
@@ -771,8 +861,7 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 			return ""
 		}
 		c.mu.Lock()
-		c.epochs[u.group]++
-		epoch := c.epochs[u.group]
+		epoch := c.st.bumpGroupEpoch(u.group)
 		c.mu.Unlock()
 		a, err := c.assign(pick, &Message{
 			Type: TypeAssign, Seg: u.name, Role: RoleSplit, Group: u.group,
@@ -787,9 +876,20 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 			c.mu.Unlock()
 			return ""
 		}
+		if p.node != "" {
+			// Adopted back mid-assign (see ensureUnit): keep the
+			// survivor, stop the duplicate.
+			c.pendingStops = append(c.pendingStops, stopReq{node: pick, seg: u.name})
+			addr := p.addr
+			c.mu.Unlock()
+			c.kickReconcile()
+			c.logf("splitter %s adopted on %s during assign; stopping duplicate on %s", u.name, p.node, pick)
+			return addr
+		}
 		p.node, p.addr, p.down = pick, a, ""
 		p.legs = append([]string(nil), legs...)
 		p.epoch = epoch
+		c.st.commit(p)
 		c.mu.Unlock()
 		c.logf("splitter %s placed on %s at %s (epoch %d, %d legs)", u.name, pick, a, epoch, len(legs))
 		return a
@@ -801,6 +901,7 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 		}
 		c.mu.Lock()
 		p.legs = append([]string(nil), legs...)
+		c.st.commit(p)
 		c.mu.Unlock()
 		c.logf("splitter %s legs now %v", u.name, legs)
 	}
@@ -826,24 +927,24 @@ func (c *Coordinator) pickNode(u unit, exclude string) string {
 		}
 		c.bootstrapped = true
 	}
-	specIdx := c.specIndex[u.group]
+	specIdx := c.st.specIndex[u.group]
 	neighbors := make(map[string]bool)
 	siblings := make(map[string]bool)
 	for _, j := range []int{specIdx - 1, specIdx + 1} {
-		if j < 0 || j >= len(c.unitsBySpec) {
+		if j < 0 || j >= len(c.st.unitsBySpec) {
 			continue
 		}
-		for _, v := range c.unitsBySpec[j] {
-			if p := c.placements[v.name]; p.node != "" {
+		for _, v := range c.st.unitsBySpec[j] {
+			if p := c.st.placements[v.name]; p.node != "" {
 				neighbors[p.node] = true
 			}
 		}
 	}
-	for _, v := range c.unitsBySpec[specIdx] {
+	for _, v := range c.st.unitsBySpec[specIdx] {
 		if v.name == u.name {
 			continue
 		}
-		p := c.placements[v.name]
+		p := c.st.placements[v.name]
 		if p.node == "" {
 			continue
 		}
@@ -862,7 +963,7 @@ func (c *Coordinator) pickNode(u unit, exclude string) string {
 		}
 		load[name] = nl
 	}
-	for _, p := range c.placements {
+	for _, p := range c.st.placements {
 		if p.node != "" {
 			if nl := load[p.node]; nl != nil {
 				nl.Segments++
@@ -907,7 +1008,7 @@ func (c *Coordinator) Drain(unitName string) error {
 	c.drainMu.Lock()
 	defer c.drainMu.Unlock()
 	c.mu.Lock()
-	p := c.placements[unitName]
+	p := c.st.placements[unitName]
 	if p == nil {
 		c.mu.Unlock()
 		return fmt.Errorf("river: unknown unit %q", unitName)
@@ -946,7 +1047,7 @@ func (c *Coordinator) Drain(unitName string) error {
 	case u.role == RoleReplica:
 		splitName := u.group + "/split"
 		c.mu.Lock()
-		sp := c.placements[splitName]
+		sp := c.st.placements[splitName]
 		splitNode := sp.node
 		legs := make([]string, 0, len(sp.legs)+1)
 		for _, a := range sp.legs {
@@ -964,10 +1065,10 @@ func (c *Coordinator) Drain(unitName string) error {
 				// failing the move.
 				c.logf("drain %s: legs update: %v (reconcile will retry)", unitName, err)
 			} else {
-				onCommit = func() { sp.legs = legs }
+				onCommit = func() { sp.legs = legs; c.st.commit(sp) }
 			}
 		}
-	case c.specIndex[u.group] == 0:
+	case c.st.specIndex[u.group] == 0:
 		// Unlike the mid-chain path there is no ack that the external
 		// source switched: give it the full boundary window sources use
 		// (see WatchEntryUpdates / StreamOut.RedirectAtBoundary) before
@@ -981,10 +1082,10 @@ func (c *Coordinator) Drain(unitName string) error {
 			settle = entryBoundaryWindow
 		}
 	default:
-		upUnits := c.unitsBySpec[c.specIndex[u.group]-1]
+		upUnits := c.st.unitsBySpec[c.st.specIndex[u.group]-1]
 		up := upUnits[0] // the spec's exit unit: plain segment or merger
 		c.mu.Lock()
-		upP := c.placements[up.name]
+		upP := c.st.placements[up.name]
 		upNode := upP.node
 		c.mu.Unlock()
 		if upNode == "" {
@@ -993,7 +1094,7 @@ func (c *Coordinator) Drain(unitName string) error {
 		if _, err := c.rpc(upNode, &Message{Type: TypeRedirect, Seg: up.name, Downstream: newAddr, Boundary: true}); err != nil {
 			return fmt.Errorf("river: drain splice via %s: %w", up.name, err)
 		}
-		onCommit = func() { upP.down = newAddr }
+		onCommit = func() { upP.down = newAddr; c.st.commit(upP) }
 	}
 
 	c.mu.Lock()
@@ -1001,18 +1102,18 @@ func (c *Coordinator) Drain(unitName string) error {
 		// The destination died mid-drain: leave the unit free so the
 		// reconcile loop re-places it (the old instance, already spliced
 		// away, is stopped below either way).
-		p.node, p.addr, p.down, p.legs = "", "", "", nil
+		c.st.clear(p)
 		c.mu.Unlock()
 		c.kickReconcile()
 		return fmt.Errorf("river: drain destination %s died; %s awaits re-placement", dest, unitName)
 	}
 	p.node, p.addr, p.down = dest, newAddr, down
+	c.st.commit(p)
 	if onCommit != nil {
 		onCommit()
 	}
 	var ws []*wire
-	if entryDrain && c.entryAddr != newAddr {
-		c.entryAddr = newAddr
+	if entryDrain && c.st.setEntry(newAddr) {
 		for w := range c.watchers {
 			ws = append(ws, w)
 		}
@@ -1114,11 +1215,10 @@ func (c *Coordinator) rpc(node string, msg *Message) (*Message, error) {
 // together with the placement and broadcast with the boundary hint.
 func (c *Coordinator) setEntry(addr string) {
 	c.mu.Lock()
-	if c.entryAddr == addr {
+	if !c.st.setEntry(addr) {
 		c.mu.Unlock()
 		return
 	}
-	c.entryAddr = addr
 	ws := make([]*wire, 0, len(c.watchers))
 	for w := range c.watchers {
 		ws = append(ws, w)

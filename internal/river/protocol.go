@@ -25,14 +25,22 @@ import (
 // messages carry a role (splitter/merger endpoint vs ordinary segment),
 // a replica downstream list and a splitter epoch; "legs" updates a live
 // splitter's fan-out set; "drain" asks the coordinator for a planned
-// zero-repair move; heartbeats carry dedup/leg counters. The protocol is
+// zero-repair move; heartbeats carry dedup/leg counters. Version 4 made
+// the control session detachable from the data plane: a register carries
+// the agent's hosted-unit inventory (what is actually still running from
+// a previous session) and the ack answers with the coordinator's epoch,
+// the units it adopted into its desired state, and the units the agent
+// must stop because they are no longer wanted. The protocol is
 // JSON with optional fields, so decode is backward compatible in both
 // directions: an older peer's messages simply lack the new fields (they
-// decode to zero), and an older decoder ignores fields it does not know.
+// decode to zero — a v3 register carries no inventory, which is accurate,
+// since v3 agents stop their units when the session ends), and an older
+// decoder ignores fields it does not know (a v3 agent ignores a v4 ack's
+// adoption verdict, which is safe, since it had nothing to adopt).
 // Agents announce their version in the register message; the coordinator
 // records it and echoes its own in the ack, so operators can spot
 // mixed-version clusters in status output.
-const ProtocolVersion = 3
+const ProtocolVersion = 4
 
 // Control message types. Register, heartbeat and ack flow from agents to
 // the coordinator; assign, redirect and stop flow the other way. Status
@@ -115,6 +123,49 @@ type Message struct {
 	Segments []SegmentStatus `json:"segments,omitempty"`
 	// Status carries the cluster snapshot (status ack).
 	Status *ClusterStatus `json:"status,omitempty"`
+	// Inventory is the agent's hosted-unit inventory (register, protocol
+	// v4): the units still running from a previous control session, so the
+	// coordinator can adopt them instead of re-placing. Absent from
+	// pre-v4 agents, which stop their units when the session ends.
+	Inventory []UnitInventory `json:"inventory,omitempty"`
+	// CoordEpoch is the coordinator's incarnation (register ack, protocol
+	// v4); it advances every time the coordinator restarts from its
+	// journaled state, so agents and operators can tell restarts apart.
+	CoordEpoch uint64 `json:"coord_epoch,omitempty"`
+	// Adopted and StopUnits answer a v4 register's inventory: the units
+	// the coordinator accepted into its desired state as-is, and the
+	// units the agent must stop because they are no longer wanted (stale
+	// placements, spec changes, or units re-placed elsewhere while the
+	// agent was detached).
+	Adopted   []string `json:"adopted,omitempty"`
+	StopUnits []string `json:"stop_units,omitempty"`
+}
+
+// UnitInventory describes one unit an agent is still hosting when it
+// (re-)registers (protocol v4): its identity in the registry, the bound
+// ingress address upstream peers dial, and the downstream target(s) its
+// egress was last told — everything the coordinator needs to decide
+// whether the live instance matches its desired state (adopt) or not
+// (stop). Counters ride along so a freshly restarted coordinator has
+// telemetry before the first heartbeat.
+type UnitInventory struct {
+	Name  string `json:"name"`
+	Type  string `json:"type,omitempty"` // registry type ("" for split/merge)
+	Role  string `json:"role,omitempty"`
+	Group string `json:"group,omitempty"`
+	Addr  string `json:"addr"`
+	// Downstream is the egress sink's current target (segments, mergers);
+	// Legs the current fan-out set (splitters).
+	Downstream string   `json:"downstream,omitempty"`
+	Legs       []string `json:"legs,omitempty"`
+	// Epoch is a splitter's incarnation as assigned by the previous
+	// coordinator session.
+	Epoch     uint16 `json:"epoch,omitempty"`
+	Processed uint64 `json:"processed,omitempty"`
+	Emitted   uint64 `json:"emitted,omitempty"`
+	// Failed marks a unit whose pipeline has already exited on its own;
+	// the coordinator never adopts it.
+	Failed bool `json:"failed,omitempty"`
 }
 
 // SegmentStatus is one hosted segment's state as reported in heartbeats
@@ -204,8 +255,13 @@ type PlacementStatus struct {
 }
 
 // ClusterStatus is the coordinator's full view: topology, entry point,
-// registered nodes and segment placements.
+// registered nodes and segment placements. It is deterministically
+// ordered (nodes and their segments sorted by name, placements in
+// topology order) so serialized snapshots are scriptable and diffable.
 type ClusterStatus struct {
+	// Epoch is the coordinator's incarnation: 1 for a fresh coordinator,
+	// advancing by one every restart from journaled state (protocol v4).
+	Epoch      uint64            `json:"epoch,omitempty"`
 	EntryAddr  string            `json:"entry_addr,omitempty"`
 	SinkAddr   string            `json:"sink_addr"`
 	Nodes      []NodeStatus      `json:"nodes"`

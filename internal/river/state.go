@@ -1,0 +1,504 @@
+package river
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"syscall"
+)
+
+// unit is one placeable instance derived from the spec: a plain segment,
+// or one of the merger/replica/splitter roles a replicated segment
+// expands into. Unit names double as the hosted instance names on agents.
+type unit struct {
+	name  string // placement key, e.g. "extract" or "extract/r2"
+	group string // owning spec segment name
+	typ   string // registry type ("" for splitter/merger endpoints)
+	role  string // "", RoleSplit, RoleMerge, RoleReplica
+	idx   int    // replica ordinal (1-based) for RoleReplica
+}
+
+// expandSpec derives the placement units of one spec segment, in
+// placement order: downstream-most first (merger, then replicas, then the
+// splitter — which is the group's entry point for upstream traffic).
+func expandSpec(sp SegmentSpec) []unit {
+	if sp.Replicas <= 1 {
+		return []unit{{name: sp.Name, group: sp.Name, typ: sp.Type}}
+	}
+	us := make([]unit, 0, sp.Replicas+2)
+	us = append(us, unit{name: sp.Name + "/merge", group: sp.Name, role: RoleMerge})
+	for i := 1; i <= sp.Replicas; i++ {
+		us = append(us, unit{
+			name: fmt.Sprintf("%s/r%d", sp.Name, i), group: sp.Name,
+			typ: sp.Type, role: RoleReplica, idx: i,
+		})
+	}
+	return append(us, unit{name: sp.Name + "/split", group: sp.Name, role: RoleSplit})
+}
+
+// placement records where one unit currently runs; node and addr are
+// empty while it awaits (re-)placement. down and legs record the
+// downstream target(s) the live instance was last told, so the reconcile
+// loop can re-splice declaratively whenever the desired target moves.
+type placement struct {
+	u     unit
+	node  string
+	addr  string
+	down  string   // single downstream last told (segments, mergers)
+	legs  []string // splitter fan-out last told (sorted)
+	epoch uint16   // splitter incarnation assigned
+}
+
+// state owns the coordinator's topology tables: the placement units
+// derived from the spec (immutable), and where each unit currently runs
+// (mutable). When opened over a directory it is durable: every mutation
+// is committed through a journaling hook (an append-only JSON log,
+// compacted into a snapshot every snapEvery entries), so a restarted
+// coordinator reloads the tables, bumps its epoch, and can reconcile
+// re-registering agents' live inventories against the reloaded desired
+// state instead of re-placing a data plane that never stopped flowing.
+//
+// All mutable fields are guarded by the owning Coordinator's mu; state
+// methods must be called with it held. Journal I/O therefore happens
+// under the coordinator lock — writes are small appends to a buffered
+// file and are not fsynced per entry (the snapshot is synced), trading a
+// sliver of crash-durability for not stalling the control plane.
+type state struct {
+	// units is every placement unit in topology order (upstream spec
+	// last); unitsBySpec groups them per spec segment, specIndex maps a
+	// spec name to its chain position. All three are immutable.
+	units       []unit
+	unitsBySpec [][]unit
+	specIndex   map[string]int
+
+	epoch      uint64 // coordinator incarnation (1 fresh, +1 per reload)
+	placements map[string]*placement
+	epochs     map[string]uint16 // per-group splitter incarnations
+	entryAddr  string
+
+	dir       string   // "" = memory-only, no journaling
+	lock      *os.File // flock guarding the directory against a second coordinator
+	journal   *os.File
+	jw        *bufio.Writer
+	jEntries  int // journal entries since the last snapshot
+	snapEvery int
+	logf      func(format string, args ...any)
+}
+
+// persisted forms. The snapshot is the full table; journal entries are
+// idempotent last-writer-wins updates, so replay order is the only thing
+// that matters and a torn tail entry is simply dropped.
+type placementRecord struct {
+	Node  string   `json:"node,omitempty"`
+	Addr  string   `json:"addr,omitempty"`
+	Down  string   `json:"down,omitempty"`
+	Legs  []string `json:"legs,omitempty"`
+	Epoch uint16   `json:"epoch,omitempty"`
+}
+
+type snapshotFile struct {
+	Epoch       uint64                     `json:"epoch"`
+	Entry       string                     `json:"entry,omitempty"`
+	GroupEpochs map[string]uint16          `json:"group_epochs,omitempty"`
+	Placements  map[string]placementRecord `json:"placements"`
+}
+
+type journalEntry struct {
+	Op    string           `json:"op"` // "place", "entry", "gepoch"
+	Unit  string           `json:"unit,omitempty"`
+	P     *placementRecord `json:"p,omitempty"`
+	Entry string           `json:"entry,omitempty"`
+	Group string           `json:"group,omitempty"`
+	Val   uint16           `json:"val,omitempty"`
+}
+
+const (
+	snapshotName       = "snapshot.json"
+	journalName        = "journal.jsonl"
+	defaultSnapEvery   = 256
+	journalBufferBytes = 32 << 10
+)
+
+// newState builds the unit tables for the spec and, when dir is
+// non-empty, loads any prior snapshot+journal from it, prunes placements
+// that no longer correspond to a unit of the current spec, advances the
+// coordinator epoch, and re-opens the journal behind a fresh snapshot.
+// restored reports whether prior placements were recovered — the signal
+// for the coordinator to run its restart grace window.
+func newState(dir string, spec PipelineSpec, logf func(string, ...any)) (st *state, restored bool, err error) {
+	st = &state{
+		specIndex:  make(map[string]int),
+		placements: make(map[string]*placement),
+		epochs:     make(map[string]uint16),
+		epoch:      1,
+		dir:        dir,
+		snapEvery:  defaultSnapEvery,
+		logf:       logf,
+	}
+	for i, sp := range spec.Segments {
+		us := expandSpec(sp)
+		st.unitsBySpec = append(st.unitsBySpec, us)
+		st.specIndex[sp.Name] = i
+		for _, u := range us {
+			st.units = append(st.units, u)
+			st.placements[u.name] = &placement{u: u}
+		}
+	}
+	if dir == "" {
+		return st, false, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, false, fmt.Errorf("river: state dir %s: %w", dir, err)
+	}
+	// Exclusive advisory lock: two coordinators journaling into the same
+	// directory would truncate and interleave each other's log. The lock
+	// is released by close() and, crucially, by process death, so a
+	// crashed coordinator never wedges its successor.
+	lock, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("river: state lock: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = lock.Close()
+		return nil, false, fmt.Errorf("river: state dir %s is in use by another coordinator: %w", dir, err)
+	}
+	st.lock = lock
+	restored, err = st.load()
+	if err != nil {
+		st.close()
+		return nil, false, err
+	}
+	if restored {
+		st.epoch++
+	}
+	// Open a fresh incarnation on disk: snapshot the (possibly reloaded)
+	// tables with the new epoch, truncate the journal behind it.
+	if err := st.snapshot(); err != nil {
+		st.close()
+		return nil, false, err
+	}
+	return st, restored, nil
+}
+
+// load reads the snapshot and replays the journal. It returns true when
+// prior state existed, even an empty table — the epoch must advance
+// either way.
+func (s *state) load() (bool, error) {
+	found := false
+	raw, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	switch {
+	case err == nil:
+		var snap snapshotFile
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return false, fmt.Errorf("river: corrupt state snapshot: %w", err)
+		}
+		found = true
+		if snap.Epoch > 0 {
+			s.epoch = snap.Epoch
+		}
+		s.entryAddr = snap.Entry
+		for g, e := range snap.GroupEpochs {
+			s.epochs[g] = e
+		}
+		for name, pr := range snap.Placements {
+			s.applyRecord(name, pr)
+		}
+	case os.IsNotExist(err):
+	default:
+		return false, fmt.Errorf("river: read state snapshot: %w", err)
+	}
+	jf, err := os.Open(filepath.Join(s.dir, journalName))
+	switch {
+	case err == nil:
+		defer jf.Close()
+		found = true
+		sc := bufio.NewScanner(jf)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e journalEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				// A torn tail entry from an unclean shutdown: everything
+				// before it replayed; stop here.
+				s.logf("state: dropping torn journal tail: %v", err)
+				break
+			}
+			switch e.Op {
+			case "place":
+				if e.P != nil {
+					s.applyRecord(e.Unit, *e.P)
+				}
+			case "entry":
+				s.entryAddr = e.Entry
+			case "gepoch":
+				s.epochs[e.Group] = e.Val
+			}
+		}
+		if err := sc.Err(); err != nil {
+			s.logf("state: journal read stopped: %v", err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return false, fmt.Errorf("river: read state journal: %w", err)
+	}
+	return found, nil
+}
+
+// applyRecord folds one persisted placement into the table, ignoring
+// units the current spec no longer defines (topology changed across the
+// restart — the stale instances will be stopped when their host
+// re-registers them in its inventory).
+func (s *state) applyRecord(name string, pr placementRecord) {
+	p, ok := s.placements[name]
+	if !ok {
+		s.logf("state: dropping placement of unknown unit %q (spec changed)", name)
+		return
+	}
+	p.node, p.addr, p.down, p.epoch = pr.Node, pr.Addr, pr.Down, pr.Epoch
+	p.legs = append([]string(nil), pr.Legs...)
+}
+
+// hasPlacements reports whether any unit is currently placed.
+func (s *state) hasPlacements() bool {
+	for _, p := range s.placements {
+		if p.node != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// commit journals placement p's current fields — the hook every
+// placement mutation must pass through. Memory-only states no-op.
+func (s *state) commit(p *placement) {
+	s.append(journalEntry{Op: "place", Unit: p.u.name, P: &placementRecord{
+		Node: p.node, Addr: p.addr, Down: p.down,
+		Legs: append([]string(nil), p.legs...), Epoch: p.epoch,
+	}})
+}
+
+// clear frees a placement for re-placement and journals the clearing.
+func (s *state) clear(p *placement) {
+	p.node, p.addr, p.down, p.legs = "", "", "", nil
+	s.commit(p)
+}
+
+// setEntry records the pipeline entry address, reporting whether it
+// changed; changes are journaled.
+func (s *state) setEntry(addr string) bool {
+	if s.entryAddr == addr {
+		return false
+	}
+	s.entryAddr = addr
+	s.append(journalEntry{Op: "entry", Entry: addr})
+	return true
+}
+
+// bumpGroupEpoch advances (and journals) a replication group's splitter
+// incarnation.
+func (s *state) bumpGroupEpoch(group string) uint16 {
+	s.epochs[group]++
+	s.append(journalEntry{Op: "gepoch", Group: group, Val: s.epochs[group]})
+	return s.epochs[group]
+}
+
+// observeGroupEpoch raises a group's splitter-incarnation floor to an
+// epoch observed in a re-registering agent's inventory, so the next
+// splitter re-place assigns a fresh incarnation even across a
+// coordinator restart that lost the tail of its journal.
+func (s *state) observeGroupEpoch(group string, e uint16) {
+	if e > s.epochs[group] {
+		s.epochs[group] = e
+		s.append(journalEntry{Op: "gepoch", Group: group, Val: e})
+	}
+}
+
+// append writes one journal entry, compacting into a snapshot every
+// snapEvery entries. Journal failures are logged, not fatal: the
+// coordinator keeps serving from memory and durability degrades to the
+// last good snapshot.
+func (s *state) append(e journalEntry) {
+	if s.jw == nil {
+		return
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		s.logf("state: encode journal entry: %v", err)
+		return
+	}
+	raw = append(raw, '\n')
+	if _, err := s.jw.Write(raw); err != nil {
+		s.logf("state: journal write: %v", err)
+		return
+	}
+	if err := s.jw.Flush(); err != nil {
+		s.logf("state: journal flush: %v", err)
+		return
+	}
+	s.jEntries++
+	if s.jEntries >= s.snapEvery {
+		if err := s.snapshot(); err != nil {
+			s.logf("state: %v", err)
+		}
+	}
+}
+
+// snapshot atomically rewrites the full table and truncates the journal
+// behind it. The snapshot is fsynced and renamed into place before the
+// journal is reset, so a crash at any point leaves a loadable pair.
+func (s *state) snapshot() error {
+	if s.dir == "" {
+		return nil
+	}
+	snap := snapshotFile{
+		Epoch:       s.epoch,
+		Entry:       s.entryAddr,
+		GroupEpochs: make(map[string]uint16, len(s.epochs)),
+		Placements:  make(map[string]placementRecord, len(s.placements)),
+	}
+	for g, e := range s.epochs {
+		snap.GroupEpochs[g] = e
+	}
+	for name, p := range s.placements {
+		if p.node == "" {
+			continue
+		}
+		snap.Placements[name] = placementRecord{
+			Node: p.node, Addr: p.addr, Down: p.down,
+			Legs: append([]string(nil), p.legs...), Epoch: p.epoch,
+		}
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("river: encode state snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("river: write state snapshot: %w", err)
+	}
+	if _, err := f.Write(raw); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("river: write state snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("river: install state snapshot: %w", err)
+	}
+	// Reset the journal behind the snapshot.
+	if s.journal != nil {
+		_ = s.journal.Close()
+		s.journal, s.jw = nil, nil
+	}
+	jf, err := os.Create(filepath.Join(s.dir, journalName))
+	if err != nil {
+		return fmt.Errorf("river: reset state journal: %w", err)
+	}
+	s.journal = jf
+	s.jw = bufio.NewWriterSize(jf, journalBufferBytes)
+	s.jEntries = 0
+	return nil
+}
+
+// close flushes and closes the journal and releases the directory lock.
+func (s *state) close() {
+	if s.jw != nil {
+		_ = s.jw.Flush()
+	}
+	if s.journal != nil {
+		_ = s.journal.Sync()
+		_ = s.journal.Close()
+		s.journal, s.jw = nil, nil
+	}
+	if s.lock != nil {
+		_ = syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
+		_ = s.lock.Close()
+		s.lock = nil
+	}
+}
+
+// adopt reconciles a (re-)registering agent's hosted-unit inventory
+// against the desired state: units the tables expect on this node (or
+// that are currently unplaced and match their unit's identity) are
+// adopted as-is — the live instance keeps running untouched, its
+// last-told downstream/legs recorded for the reconcile loop to converge
+// from — and everything else is returned for the agent to stop. Units
+// the tables place on this node but absent from the inventory died with
+// the agent process and are freed for re-placement. Pre-v4 agents report
+// no inventory, which is accurate (they stop their units when a control
+// session ends), so everything recorded against them is freed.
+func (s *state) adopt(node string, inv []UnitInventory) (adopted, stops []string) {
+	seen := make(map[string]bool, len(inv))
+	for _, iu := range inv {
+		seen[iu.Name] = true
+		p := s.placements[iu.Name]
+		matches := false
+		if p != nil && !iu.Failed && iu.Addr != "" {
+			// Replicas travel the wire as ordinary segment assigns
+			// (RoleReplica is placement-only), so the agent reports them
+			// with no role or group; match them on name + registry type
+			// like any plain segment.
+			wireRole, wireGroup := p.u.role, p.u.group
+			if wireRole == RoleReplica {
+				wireRole, wireGroup = "", ""
+			}
+			matches = p.u.typ == iu.Type && wireRole == iu.Role &&
+				(wireRole == "" || wireGroup == iu.Group)
+		}
+		switch {
+		case matches && p.node == node && p.addr == iu.Addr:
+			// Exactly where the reloaded tables expect it: adopt, taking
+			// the instance's own word for what it was last told.
+			p.down = iu.Downstream
+			p.legs = append([]string(nil), iu.Legs...)
+			sort.Strings(p.legs)
+			if iu.Role == RoleSplit {
+				p.epoch = iu.Epoch
+				s.observeGroupEpoch(p.u.group, iu.Epoch)
+			}
+			s.commit(p)
+			adopted = append(adopted, iu.Name)
+		case matches && p.node == "":
+			// The tables freed this unit (its agent was declared dead)
+			// but nothing has been re-placed yet: adopt the survivor back
+			// instead of spinning up a duplicate.
+			p.node, p.addr, p.down = node, iu.Addr, iu.Downstream
+			p.legs = append([]string(nil), iu.Legs...)
+			sort.Strings(p.legs)
+			if iu.Role == RoleSplit {
+				p.epoch = iu.Epoch
+				s.observeGroupEpoch(p.u.group, iu.Epoch)
+			}
+			s.commit(p)
+			adopted = append(adopted, iu.Name)
+		default:
+			// Unknown unit, failed pipeline, identity mismatch, or placed
+			// elsewhere while the agent was detached: the instance is an
+			// orphan. If the stale record points at this node, free it.
+			if p != nil && p.node == node {
+				s.clear(p)
+			}
+			stops = append(stops, iu.Name)
+		}
+	}
+	for _, u := range s.units {
+		if p := s.placements[u.name]; p.node == node && !seen[u.name] {
+			s.clear(p)
+		}
+	}
+	slices.Sort(adopted)
+	slices.Sort(stops)
+	return adopted, stops
+}
