@@ -35,6 +35,15 @@
 // higher) instead of being re-placed:
 //
 //	dynriver coord -listen :7100 -sink 127.0.0.1:7103 -segments extract -state /var/lib/dynriver
+//
+// One coordinator scales to many stations' pipelines over the same node
+// pool (-pipelines N, or a -spec-file JSON fleet); each station follows
+// its own pipeline's entry address, and pipelines can be added and
+// removed at runtime without restarting anything:
+//
+//	dynriver coord -listen :7100 -sink 127.0.0.1:7103 -segments relay -pipelines 8
+//	dynriver station -coord 127.0.0.1:7100 -pipeline p3 -clips 4
+//	dynriver pipeline add -coord 127.0.0.1:7100 -id p9 -segments relay -sink 127.0.0.1:7104
 package main
 
 import (
@@ -78,6 +87,8 @@ func main() {
 		err = runStatus(os.Args[2:])
 	case "drain":
 		err = runDrain(os.Args[2:])
+	case "pipeline":
+		err = runPipeline(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -90,17 +101,25 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dynriver station (-to HOST:PORT | -coord HOST:PORT) [-clips N] [-seed S] [-seconds SEC] [-batch N]
+  dynriver station (-to HOST:PORT | -coord HOST:PORT [-pipeline ID]) [-clips N] [-seed S] [-seconds SEC] [-batch N]
   dynriver segment -type extract|spectral|full -listen ADDR -to HOST:PORT
   dynriver sink -listen ADDR [-conns N]
-  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-replicas N] [-heartbeat D] [-timeout D] [-placer POLICY] [-state DIR] [-grace D]
+  dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-pipelines N | -spec-file FILE]
+                 [-replicas N] [-heartbeat D] [-timeout D] [-placer POLICY]
+                 [-state DIR] [-grace D] [-disconnect-grace D] [-fsync=BOOL]
   dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N] [-retry N] [-retry-max D]
-  dynriver status -coord HOST:PORT [-json]
-  dynriver drain -coord HOST:PORT -seg UNIT
+  dynriver status -coord HOST:PORT [-json] [-pipeline ID]
+  dynriver drain -coord HOST:PORT -seg UNIT [-pipeline ID]
+  dynriver pipeline add -coord HOST:PORT -id ID -sink HOST:PORT [-segments TYPES] [-replicas N]
+  dynriver pipeline rm -coord HOST:PORT -id ID
 
 placer policies: least-loaded (default), spread, load-aware
 segments syntax: TYPE, NAME=TYPE, with an optional :N replica suffix
-(e.g. "relay:3,extract"); -replicas N applies to entries without one`)
+(e.g. "relay:3,extract"); -replicas N applies to entries without one
+-pipelines N runs N copies of the -segments chain as pipelines p1..pN
+(each needs its own station; all share the node pool); -spec-file names
+a JSON file holding an array of pipeline specs ({"id","segments":[{"name",
+"type","replicas"}],"sink_addr"}) for heterogeneous fleets`)
 }
 
 // builtinRegistry exposes the acoustic pipeline's segment types to both
@@ -142,6 +161,7 @@ func runStation(args []string) error {
 	fs := flag.NewFlagSet("station", flag.ExitOnError)
 	to := fs.String("to", "", "downstream address (exclusive with -coord)")
 	coordAddr := fs.String("coord", "", "coordinator address to resolve and follow the pipeline entry")
+	pipeID := fs.String("pipeline", "", "pipeline ID to follow on a multi-pipeline coordinator (default: the default pipeline)")
 	clips := fs.Int("clips", 2, "clips to transmit")
 	seed := fs.Int64("seed", 1, "clip generator seed")
 	seconds := fs.Float64("seconds", 10, "seconds per clip")
@@ -171,7 +191,7 @@ func runStation(args []string) error {
 		defer wcancel()
 		go func() {
 			for {
-				err := river.WatchEntryUpdates(wctx, *coordAddr, func(a string, boundary bool) {
+				err := river.WatchPipelineEntry(wctx, *coordAddr, *pipeID, func(a string, boundary bool) {
 					select {
 					case entryCh <- entryUpdate{a, boundary}:
 					default:
@@ -193,7 +213,7 @@ func runStation(args []string) error {
 		case up := <-entryCh:
 			entry = up.addr
 		case <-time.After(30 * time.Second):
-			return fmt.Errorf("station: no pipeline entry from coordinator %s after 30s", *coordAddr)
+			return fmt.Errorf("station: no entry for pipeline %q from coordinator %s after 30s", *pipeID, *coordAddr)
 		case <-ctx.Done():
 			return nil
 		}
@@ -294,48 +314,21 @@ func runSink(args []string) error {
 	return nil
 }
 
-// runCoord starts the control-plane coordinator for a pipeline of the
-// given segment types ending at a fixed sink address.
-func runCoord(args []string) error {
-	fs := flag.NewFlagSet("coord", flag.ExitOnError)
-	listen := fs.String("listen", "127.0.0.1:7100", "control listen address")
-	sinkAddr := fs.String("sink", "", "terminal sink address (required)")
-	segments := fs.String("segments", "extract", "comma-separated segment types (or name=type pairs), upstream first")
-	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat interval told to nodes")
-	timeout := fs.Duration("timeout", 0, "heartbeat silence before a node is declared dead (default 4x heartbeat)")
-	minNodes := fs.Int("min-nodes", 1, "nodes required before the initial placement")
-	replicas := fs.Int("replicas", 1, "default replica count for segments without a :N suffix (>1 runs a splitter/merger pair)")
-	placerName := fs.String("placer", "least-loaded", "placement policy: least-loaded, spread or load-aware")
-	stateDir := fs.String("state", "", "journal placement state to this directory; a coordinator restarted over it adopts the running data plane instead of re-placing")
-	grace := fs.Duration("grace", 0, "restart grace window for agents to re-register and be adopted (default 5s; needs -state)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *sinkAddr == "" {
-		return fmt.Errorf("coord: -sink is required")
-	}
-	var placer river.Placer
-	switch *placerName {
-	case "least-loaded":
-		placer = river.LeastLoaded{}
-	case "spread":
-		placer = river.Spread{}
-	case "load-aware":
-		placer = river.LoadAware{}
-	default:
-		return fmt.Errorf("coord: unknown placer %q (want least-loaded, spread or load-aware)", *placerName)
-	}
-	spec := river.PipelineSpec{SinkAddr: *sinkAddr}
-	for i, part := range strings.Split(*segments, ",") {
+// parseSegments parses the -segments syntax (comma-separated TYPE or
+// NAME=TYPE entries with an optional :N replica suffix) into segment
+// specs; defReplicas applies to entries without a suffix.
+func parseSegments(segments string, defReplicas int) ([]river.SegmentSpec, error) {
+	var out []river.SegmentSpec
+	for i, part := range strings.Split(segments, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
-		n := *replicas
+		n := defReplicas
 		if colon := strings.LastIndexByte(part, ':'); colon >= 0 {
 			parsed, err := strconv.Atoi(part[colon+1:])
 			if err != nil || parsed < 1 {
-				return fmt.Errorf("coord: bad replica suffix in %q", part)
+				return nil, fmt.Errorf("bad replica suffix in %q", part)
 			}
 			n, part = parsed, part[:colon]
 		}
@@ -343,17 +336,92 @@ func runCoord(args []string) error {
 		if eq := strings.IndexByte(part, '='); eq >= 0 {
 			name, typ = part[:eq], part[eq+1:]
 		}
-		spec.Segments = append(spec.Segments, river.SegmentSpec{Name: name, Type: typ, Replicas: n})
+		out = append(out, river.SegmentSpec{Name: name, Type: typ, Replicas: n})
+	}
+	return out, nil
+}
+
+// parsePlacer maps a -placer flag value to a placement policy.
+func parsePlacer(name string) (river.Placer, error) {
+	switch name {
+	case "least-loaded":
+		return river.LeastLoaded{}, nil
+	case "spread":
+		return river.Spread{}, nil
+	case "load-aware":
+		return river.LoadAware{}, nil
+	}
+	return nil, fmt.Errorf("unknown placer %q (want least-loaded, spread or load-aware)", name)
+}
+
+// runCoord starts the control-plane coordinator. One coordinator can
+// maintain many pipelines over a shared node pool: -pipelines N clones
+// the -segments chain into pipelines p1..pN (all forwarding to -sink),
+// and -spec-file loads an arbitrary heterogeneous set from JSON. More
+// pipelines can be added and removed at runtime with `dynriver pipeline`.
+func runCoord(args []string) error {
+	fs := flag.NewFlagSet("coord", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7100", "control listen address")
+	sinkAddr := fs.String("sink", "", "terminal sink address (required unless -spec-file)")
+	segments := fs.String("segments", "extract", "comma-separated segment types (or name=type pairs), upstream first")
+	pipelines := fs.Int("pipelines", 1, "number of pipelines to run: 1 = the single default pipeline, N>1 = pipelines p1..pN each running the -segments chain")
+	specFile := fs.String("spec-file", "", "JSON file holding an array of pipeline specs (overrides -segments/-pipelines/-sink)")
+	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat interval told to nodes")
+	timeout := fs.Duration("timeout", 0, "heartbeat silence before a node is declared dead (default 4x heartbeat)")
+	minNodes := fs.Int("min-nodes", 1, "nodes required before the initial placement")
+	replicas := fs.Int("replicas", 1, "default replica count for segments without a :N suffix (>1 runs a splitter/merger pair)")
+	placerName := fs.String("placer", "least-loaded", "placement policy: least-loaded, spread or load-aware")
+	stateDir := fs.String("state", "", "journal placement state to this directory; a coordinator restarted over it adopts the running data plane instead of re-placing")
+	grace := fs.Duration("grace", 0, "restart grace window for agents to re-register and be adopted (default 5s; needs -state)")
+	disconnectGrace := fs.Duration("disconnect-grace", 0, "hold a disconnected node's units this long for reconnect-and-adopt before re-placing (0 = fail over immediately)")
+	fsync := fs.Bool("fsync", true, "group-commit fsync of journal entries (disable to trade a machine-crash durability window for zero fsync traffic)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var specs []river.PipelineSpec
+	switch {
+	case *specFile != "":
+		raw, err := os.ReadFile(*specFile)
+		if err != nil {
+			return fmt.Errorf("coord: %w", err)
+		}
+		if err := json.Unmarshal(raw, &specs); err != nil {
+			return fmt.Errorf("coord: parse %s: %w", *specFile, err)
+		}
+	case *sinkAddr == "":
+		return fmt.Errorf("coord: -sink is required")
+	default:
+		segs, err := parseSegments(*segments, *replicas)
+		if err != nil {
+			return fmt.Errorf("coord: %w", err)
+		}
+		if *pipelines <= 1 {
+			specs = []river.PipelineSpec{{Segments: segs, SinkAddr: *sinkAddr}}
+			break
+		}
+		for i := 1; i <= *pipelines; i++ {
+			specs = append(specs, river.PipelineSpec{
+				ID:       fmt.Sprintf("p%d", i),
+				Segments: append([]river.SegmentSpec(nil), segs...),
+				SinkAddr: *sinkAddr,
+			})
+		}
+	}
+	placer, err := parsePlacer(*placerName)
+	if err != nil {
+		return fmt.Errorf("coord: %w", err)
 	}
 	coord, err := river.NewCoordinator(river.Config{
 		ListenAddr:        *listen,
-		Spec:              spec,
+		Pipelines:         specs,
 		HeartbeatInterval: *heartbeat,
 		HeartbeatTimeout:  *timeout,
 		MinNodes:          *minNodes,
 		Placer:            placer,
 		StateDir:          *stateDir,
 		RestartGrace:      *grace,
+		DisconnectGrace:   *disconnectGrace,
+		JournalNoFsync:    !*fsync,
 		Logf:              func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
 	})
 	if err != nil {
@@ -362,11 +430,60 @@ func runCoord(args []string) error {
 	durable := ""
 	if *stateDir != "" {
 		durable = fmt.Sprintf(", state %s", *stateDir)
+		if !*fsync {
+			durable += " (no fsync)"
+		}
 	}
-	fmt.Printf("coordinator listening on %s as epoch %d (%d segment(s) -> sink %s, placer %s%s)\n",
-		coord.Addr(), coord.Epoch(), len(spec.Segments), *sinkAddr, *placerName, durable)
+	fmt.Printf("coordinator listening on %s as epoch %d (%d pipeline(s), placer %s%s)\n",
+		coord.Addr(), coord.Epoch(), len(specs), *placerName, durable)
 	<-interruptContext().Done()
 	return coord.Close()
+}
+
+// runPipeline adds or removes a pipeline on a running coordinator:
+// `pipeline add` submits a new spec (placed onto the shared node pool by
+// the next reconcile passes, journaled so a restart reloads it),
+// `pipeline rm` stops and forgets one.
+func runPipeline(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("pipeline: want add or rm")
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("pipeline "+verb, flag.ExitOnError)
+	coordAddr := fs.String("coord", "", "coordinator address (required)")
+	id := fs.String("id", "", "pipeline ID (required)")
+	segments := fs.String("segments", "extract", "comma-separated segment types (add)")
+	sinkAddr := fs.String("sink", "", "terminal sink address (add; required)")
+	replicas := fs.Int("replicas", 1, "default replica count (add)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *coordAddr == "" || *id == "" {
+		return fmt.Errorf("pipeline %s: -coord and -id are required", verb)
+	}
+	switch verb {
+	case "add":
+		if *sinkAddr == "" {
+			return fmt.Errorf("pipeline add: -sink is required")
+		}
+		segs, err := parseSegments(*segments, *replicas)
+		if err != nil {
+			return fmt.Errorf("pipeline add: %w", err)
+		}
+		spec := river.PipelineSpec{ID: *id, Segments: segs, SinkAddr: *sinkAddr}
+		if err := river.RequestPipelineAdd(*coordAddr, spec, 10*time.Second); err != nil {
+			return err
+		}
+		fmt.Printf("pipeline %s added (%d segment(s) -> sink %s)\n", *id, len(segs), *sinkAddr)
+	case "rm":
+		if err := river.RequestPipelineRemove(*coordAddr, *id, 10*time.Second); err != nil {
+			return err
+		}
+		fmt.Printf("pipeline %s removed\n", *id)
+	default:
+		return fmt.Errorf("pipeline: unknown verb %q (want add or rm)", verb)
+	}
+	return nil
 }
 
 // runNode runs a node agent that hosts segments the coordinator assigns.
@@ -411,6 +528,7 @@ func runStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	coordAddr := fs.String("coord", "", "coordinator address (required)")
 	asJSON := fs.Bool("json", false, "emit the machine-readable ClusterStatus JSON instead of the report")
+	pipeID := fs.String("pipeline", "", "report only this pipeline's placements")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -420,6 +538,20 @@ func runStatus(args []string) error {
 	st, err := river.FetchStatus(*coordAddr, 5*time.Second)
 	if err != nil {
 		return err
+	}
+	if *pipeID != "" {
+		kept := st.Pipelines[:0]
+		for _, p := range st.Pipelines {
+			if p.ID == *pipeID {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("status: coordinator has no pipeline %q", *pipeID)
+		}
+		st.Pipelines = kept
+		st.Placements = kept[0].Placements
+		st.EntryAddr, st.SinkAddr = kept[0].EntryAddr, kept[0].SinkAddr
 	}
 	if *asJSON {
 		raw, err := json.MarshalIndent(st, "", "  ")
@@ -458,37 +590,60 @@ func runStatus(args []string) error {
 			}
 		}
 	}
-	fmt.Printf("placements (%d):\n", len(st.Placements))
-	for _, p := range st.Placements {
-		kind := p.Type
-		if p.Role != "" && kind == "" {
-			kind = p.Role
-		}
-		if p.Placed {
-			fmt.Printf("  %-14s (%s) on %s at %s\n", p.Seg, kind, p.Node, p.Addr)
-		} else {
-			fmt.Printf("  %-14s (%s) UNPLACED\n", p.Seg, kind)
+	printPlacements := func(ps []river.PlacementStatus) {
+		for _, p := range ps {
+			kind := p.Type
+			if p.Role != "" && kind == "" {
+				kind = p.Role
+			}
+			if p.Placed {
+				fmt.Printf("  %-14s (%s) on %s at %s\n", p.Seg, kind, p.Node, p.Addr)
+			} else {
+				fmt.Printf("  %-14s (%s) UNPLACED\n", p.Seg, kind)
+			}
 		}
 	}
+	if len(st.Pipelines) > 1 || (len(st.Pipelines) == 1 && st.Pipelines[0].ID != "") {
+		fmt.Printf("pipelines (%d):\n", len(st.Pipelines))
+		for _, pl := range st.Pipelines {
+			id := pl.ID
+			if id == "" {
+				id = "(default)"
+			}
+			fmt.Printf("pipeline %s: entry %s -> sink %s (%d unit(s)):\n",
+				id, orDash(pl.EntryAddr), pl.SinkAddr, len(pl.Placements))
+			printPlacements(pl.Placements)
+		}
+		return nil
+	}
+	fmt.Printf("placements (%d):\n", len(st.Placements))
+	printPlacements(st.Placements)
 	return nil
 }
 
 // runDrain asks the coordinator for a planned zero-repair move of one
-// placement unit (a segment, or a replica like "s1-relay/r2").
+// placement unit (a segment, or a replica like "s1-relay/r2"). Units of
+// a named pipeline are addressed with -pipeline ID, or directly by their
+// scoped name ("ID:seg").
 func runDrain(args []string) error {
 	fs := flag.NewFlagSet("drain", flag.ExitOnError)
 	coordAddr := fs.String("coord", "", "coordinator address (required)")
 	seg := fs.String("seg", "", "placement unit to move (required)")
+	pipeID := fs.String("pipeline", "", "pipeline the unit belongs to (default: the default pipeline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *coordAddr == "" || *seg == "" {
 		return fmt.Errorf("drain: -coord and -seg are required")
 	}
-	if err := river.RequestDrain(*coordAddr, *seg, 30*time.Second); err != nil {
+	unit := *seg
+	if *pipeID != "" {
+		unit = *pipeID + ":" + unit
+	}
+	if err := river.RequestDrain(*coordAddr, unit, 30*time.Second); err != nil {
 		return err
 	}
-	fmt.Printf("drained %s\n", *seg)
+	fmt.Printf("drained %s\n", unit)
 	return nil
 }
 

@@ -39,39 +39,64 @@ func FetchStatus(coordAddr string, timeout time.Duration) (*ClusterStatus, error
 
 // RequestDrain asks a coordinator to gracefully move the named placement
 // unit (flush + boundary splice + stop + reassign — zero scope repairs);
-// see Coordinator.Drain. The call blocks until the move completes or
-// fails. The timeout must cover the boundary wait plus the settle delay.
+// see Coordinator.Drain. unitName is the scoped placement key (prefix a
+// named pipeline's units with "ID:"). The call blocks until the move
+// completes or fails. The timeout must cover the boundary wait plus the
+// settle delay.
 func RequestDrain(coordAddr, unitName string, timeout time.Duration) error {
+	_, err := clientRequest(coordAddr, &Message{Type: TypeDrain, Seg: unitName}, timeout, 30*time.Second)
+	return err
+}
+
+// RequestPipelineAdd asks a coordinator to add — and start maintaining —
+// a new pipeline at runtime (protocol v5). The addition is journaled, so
+// a restarted coordinator reloads it.
+func RequestPipelineAdd(coordAddr string, spec PipelineSpec, timeout time.Duration) error {
+	_, err := clientRequest(coordAddr, &Message{Type: TypePipelineAdd, Spec: &spec}, timeout, 5*time.Second)
+	return err
+}
+
+// RequestPipelineRemove asks a coordinator to remove a pipeline and stop
+// all its units (protocol v5).
+func RequestPipelineRemove(coordAddr, pipelineID string, timeout time.Duration) error {
+	_, err := clientRequest(coordAddr, &Message{Type: TypePipelineRemove, Pipeline: pipelineID}, timeout, 5*time.Second)
+	return err
+}
+
+// clientRequest opens a short client session, sends one request and
+// waits for its ack.
+func clientRequest(coordAddr string, msg *Message, timeout, fallback time.Duration) (*Message, error) {
 	if timeout <= 0 {
-		timeout = 30 * time.Second
+		timeout = fallback
 	}
 	conn, err := net.DialTimeout("tcp", coordAddr, timeout)
 	if err != nil {
-		return fmt.Errorf("river: drain: dial %s: %w", coordAddr, err)
+		return nil, fmt.Errorf("river: %s: dial %s: %w", msg.Type, coordAddr, err)
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 	w := newWire(conn)
-	if err := w.send(&Message{Type: TypeDrain, Seg: unitName}); err != nil {
-		return err
+	if err := w.send(msg); err != nil {
+		return nil, err
 	}
 	reply, err := w.recv()
 	if err != nil {
-		return fmt.Errorf("river: drain: %w", err)
+		return nil, fmt.Errorf("river: %s: %w", msg.Type, err)
 	}
 	if reply.Err != "" {
-		return errors.New(reply.Err)
+		return nil, errors.New(reply.Err)
 	}
-	return nil
+	return reply, nil
 }
 
-// WatchEntry subscribes to a coordinator's pipeline entry address and
-// invokes fn for the current address and every subsequent change, until
-// ctx is cancelled (returns nil) or the connection drops (returns the
-// error). A source uses this to point — and keep pointing — its streamout
-// at the pipeline's first segment as the control plane moves it.
+// WatchEntry subscribes to a coordinator's default-pipeline entry
+// address and invokes fn for the current address and every subsequent
+// change, until ctx is cancelled (returns nil) or the connection drops
+// (returns the error). A source uses this to point — and keep pointing —
+// its streamout at the pipeline's first segment as the control plane
+// moves it.
 func WatchEntry(ctx context.Context, coordAddr string, fn func(addr string)) error {
-	return WatchEntryUpdates(ctx, coordAddr, func(addr string, _ bool) { fn(addr) })
+	return WatchPipelineEntry(ctx, coordAddr, "", func(addr string, _ bool) { fn(addr) })
 }
 
 // WatchEntryUpdates is WatchEntry with the drain signal: boundary is true
@@ -79,6 +104,15 @@ func WatchEntry(ctx context.Context, coordAddr string, fn func(addr string)) err
 // source should switch at its next top-level scope boundary
 // (StreamOut.RedirectAtBoundary) rather than immediately.
 func WatchEntryUpdates(ctx context.Context, coordAddr string, fn func(addr string, boundary bool)) error {
+	return WatchPipelineEntry(ctx, coordAddr, "", fn)
+}
+
+// WatchPipelineEntry is the pipeline-scoped entry watch (protocol v5): a
+// station serving pipeline ID follows only that pipeline's entry
+// address — another pipeline's failover never disturbs it. The empty ID
+// follows the default pipeline, which is all pre-v5 coordinators have.
+// Watching a pipeline the coordinator does not know fails with an error.
+func WatchPipelineEntry(ctx context.Context, coordAddr, pipelineID string, fn func(addr string, boundary bool)) error {
 	conn, err := (&net.Dialer{Timeout: 5 * time.Second}).DialContext(ctx, "tcp", coordAddr)
 	if err != nil {
 		return fmt.Errorf("river: watch: dial %s: %w", coordAddr, err)
@@ -94,7 +128,7 @@ func WatchEntryUpdates(ctx context.Context, coordAddr string, fn func(addr strin
 		}
 	}()
 	w := newWire(conn)
-	if err := w.send(&Message{Type: TypeWatch}); err != nil {
+	if err := w.send(&Message{Type: TypeWatch, Pipeline: pipelineID}); err != nil {
 		return err
 	}
 	for {
@@ -105,8 +139,12 @@ func WatchEntryUpdates(ctx context.Context, coordAddr string, fn func(addr strin
 			}
 			return fmt.Errorf("river: watch: %w", err)
 		}
-		if msg.Type == TypeEntry && msg.Addr != "" {
+		switch {
+		case msg.Type == TypeEntry && msg.Addr != "":
 			fn(msg.Addr, msg.Boundary)
+		case msg.Type == TypeAck && msg.Err != "":
+			// The coordinator refused the subscription (unknown pipeline).
+			return fmt.Errorf("river: watch: %s", msg.Err)
 		}
 	}
 }

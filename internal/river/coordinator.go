@@ -12,11 +12,11 @@ import (
 	"time"
 )
 
-// SegmentSpec names one segment of the desired pipeline and the registry
+// SegmentSpec names one segment of a desired pipeline and the registry
 // type agents instantiate it from.
 type SegmentSpec struct {
-	Name string
-	Type string
+	Name string `json:"name"`
+	Type string `json:"type"`
 	// Replicas, when > 1, runs the segment as that many replica
 	// instances behind a splitter/merger pair: the splitter tags the
 	// stream with sequence numbers and fans it out to every replica, the
@@ -25,23 +25,64 @@ type SegmentSpec struct {
 	// downstream. 0 and 1 mean an ordinary single instance. Replicated
 	// segment types must be record-preserving and deterministic (e.g.
 	// "relay") for the copies to deduplicate.
-	Replicas int
+	Replicas int `json:"replicas,omitempty"`
 }
 
-// PipelineSpec is the desired topology the coordinator maintains: an
-// ordered chain of segments (upstream first) that ultimately forwards to a
-// fixed sink address outside the control plane's care.
+// PipelineSpec is one desired topology the coordinator maintains: an
+// ordered chain of segments (upstream first) that ultimately forwards to
+// a fixed sink address outside the control plane's care. ID names the
+// pipeline in the registry; the empty ID is the default pipeline, the
+// back-compat identity of the single pipeline pre-v5 coordinators ran.
 type PipelineSpec struct {
-	Segments []SegmentSpec
-	SinkAddr string
+	ID       string        `json:"id,omitempty"`
+	Segments []SegmentSpec `json:"segments"`
+	SinkAddr string        `json:"sink_addr"`
+}
+
+// validate checks one pipeline spec in isolation.
+func (p PipelineSpec) validate() error {
+	if strings.ContainsAny(p.ID, ":/ \t\n") {
+		return fmt.Errorf("river: pipeline ID %q: ':', '/' and whitespace are reserved", p.ID)
+	}
+	if len(p.Segments) == 0 {
+		return fmt.Errorf("river: pipeline %q needs at least one segment", p.ID)
+	}
+	if p.SinkAddr == "" {
+		return fmt.Errorf("river: pipeline %q needs a sink address", p.ID)
+	}
+	seen := make(map[string]bool, len(p.Segments))
+	for _, sp := range p.Segments {
+		if sp.Name == "" || sp.Type == "" {
+			return fmt.Errorf("river: segment spec %+v needs a name and a type", sp)
+		}
+		if strings.ContainsAny(sp.Name, "/:") {
+			return fmt.Errorf("river: segment name %q: '/' and ':' are reserved for unit scoping", sp.Name)
+		}
+		if sp.Replicas < 0 {
+			return fmt.Errorf("river: segment %q: negative replica count", sp.Name)
+		}
+		if seen[sp.Name] {
+			return fmt.Errorf("river: duplicate segment name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+	return nil
 }
 
 // Config parameterizes a Coordinator.
 type Config struct {
 	// ListenAddr is the control listen address ("127.0.0.1:0" default).
 	ListenAddr string
-	// Spec is the pipeline to maintain; at least one segment and a sink
-	// address are required.
+	// Pipelines is the boot set of pipelines to maintain, each with a
+	// unique ID. Placement is global — every pipeline's units share the
+	// node pool and the Placer — while reconciliation, drains, failover
+	// and entry watches operate per pipeline. More pipelines can be added
+	// (and removed) at runtime via AddPipeline/RemovePipeline or the
+	// protocol's pipeline_add/pipeline_remove verbs.
+	Pipelines []PipelineSpec
+	// Spec is the single-pipeline back-compat form: equivalent to
+	// Pipelines holding one spec with the empty (default) ID. Ignored
+	// when Pipelines is set.
 	Spec PipelineSpec
 	// HeartbeatInterval is the cadence agents are told to beat at
 	// (default 250ms).
@@ -55,7 +96,9 @@ type Config struct {
 	// finish emitting its tail after the stream has been spliced away,
 	// before stopping it (default 250ms).
 	DrainSettle time.Duration
-	// Placer chooses hosts for segments (default LeastLoaded).
+	// Placer chooses hosts for segments (default LeastLoaded). One
+	// placer serves every pipeline, so a load-aware policy spreads many
+	// pipelines' segments across the shared cluster.
 	Placer Placer
 	// MinNodes delays the initial placement until at least this many
 	// nodes have registered (default 1), so a cold-starting cluster does
@@ -63,14 +106,17 @@ type Config struct {
 	// gates only bootstrap: once the cluster has reached MinNodes,
 	// failover re-placement proceeds with however many nodes survive.
 	MinNodes int
-	// OnEntryChange, when set, is invoked after the pipeline's entry
-	// address changes — the hook an in-process source uses to Redirect
-	// its streamout. Called from coordinator goroutines; keep it brief.
+	// OnEntryChange, when set, is invoked after the default pipeline's
+	// entry address changes — the hook an in-process source uses to
+	// Redirect its streamout. Called from coordinator goroutines; keep it
+	// brief. Stations of named pipelines follow entries over the watch
+	// protocol instead (WatchPipelineEntry).
 	OnEntryChange func(addr string)
 	// StateDir, when set, makes the coordinator durable: every placement
-	// mutation is journaled there (append-only JSON log, compacted into a
-	// periodic snapshot), and a coordinator restarted over the same
-	// directory reloads the tables, advances its epoch, and reconciles
+	// mutation — and every runtime pipeline add/remove — is journaled
+	// there (append-only JSON log, compacted into a periodic snapshot),
+	// and a coordinator restarted over the same directory reloads the
+	// full pipeline set, advances its epoch, and reconciles
 	// re-registering agents' hosted-unit inventories against the reloaded
 	// desired state instead of re-placing a data plane that never stopped.
 	StateDir string
@@ -80,6 +126,24 @@ type Config struct {
 	// (default 5s; only meaningful with StateDir). It must comfortably
 	// cover the agents' reconnect backoff.
 	RestartGrace time.Duration
+	// DisconnectGrace, when positive, defers re-placement after a node's
+	// control connection drops (or its heartbeats lapse): for that long
+	// its units are presumed to still be running detached, so a blipped
+	// agent's reconnect-and-adopt wins over a needless move. The default
+	// 0 keeps the v4 behavior — a dropped control connection is node
+	// death, and failover begins immediately. True node death under a
+	// grace costs that much extra failover latency.
+	DisconnectGrace time.Duration
+	// JournalNoFsync disables the journal's group-commit fsync (entries
+	// are then only flushed to the OS, and synced at snapshots), trading
+	// a machine-crash durability window for zero fsync traffic — the v4
+	// behavior. Only meaningful with StateDir.
+	JournalNoFsync bool
+	// JournalFsyncInterval is the group-commit flush interval: journal
+	// entries are fsynced in batches at most this far apart (default
+	// 2ms), bounding what a hard machine crash can lose without paying a
+	// per-entry fsync on the control path.
+	JournalFsyncInterval time.Duration
 	// Logf, when set, receives control-plane event logs.
 	Logf func(format string, args ...any)
 }
@@ -125,11 +189,11 @@ type member struct {
 	gone    bool
 }
 
-// Coordinator owns the desired pipeline topology and drives registered
-// node agents to realize it. It is started by NewCoordinator and stopped
-// by Close. The topology tables live in a state (see state.go) whose
-// mutations are journaled when Config.StateDir is set, making the
-// coordinator restartable without disturbing the data plane.
+// Coordinator owns a registry of desired pipeline topologies and drives
+// registered node agents to realize them. It is started by NewCoordinator
+// and stopped by Close. The topology tables live in a state (see
+// state.go) whose mutations are journaled when Config.StateDir is set,
+// making the coordinator restartable without disturbing the data plane.
 type Coordinator struct {
 	cfg    Config
 	ln     net.Listener
@@ -149,10 +213,15 @@ type Coordinator struct {
 	// same stretch of the chain concurrently.
 	drainMu sync.Mutex
 
-	mu           sync.Mutex
-	st           *state // topology tables + journaling commit hooks
-	nodes        map[string]*member
-	watchers     map[*wire]struct{}
+	mu    sync.Mutex
+	st    *state // topology tables + journaling commit hooks
+	nodes map[string]*member
+	// disconnected maps a dropped node to the deadline its units stay
+	// presumed-alive awaiting a reconnect-and-adopt (Config.DisconnectGrace).
+	disconnected map[string]time.Time
+	// watchers maps an entry-watch subscription to the pipeline ID it
+	// follows.
+	watchers     map[*wire]string
 	conns        map[net.Conn]struct{}
 	nextID       uint64
 	bootstrapped bool // cluster reached MinNodes at least once
@@ -174,38 +243,36 @@ type stopReq struct {
 // instance; it matches the RedirectAtBoundary fallback sources use.
 const entryBoundaryWindow = 5 * time.Second
 
+// bootPipelines resolves the configured pipeline set: Pipelines as given,
+// or the single-pipeline Spec under the default ID.
+func (c Config) bootPipelines() []PipelineSpec {
+	if len(c.Pipelines) > 0 {
+		return c.Pipelines
+	}
+	return []PipelineSpec{c.Spec}
+}
+
 // NewCoordinator validates cfg, binds the control listener and starts the
 // coordinator's accept and reconcile loops.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Spec.Segments) == 0 {
-		return nil, errors.New("river: coordinator needs at least one segment in the spec")
-	}
-	if cfg.Spec.SinkAddr == "" {
-		return nil, errors.New("river: coordinator needs a sink address")
-	}
-	seen := make(map[string]bool, len(cfg.Spec.Segments))
-	for _, sp := range cfg.Spec.Segments {
-		if sp.Name == "" || sp.Type == "" {
-			return nil, fmt.Errorf("river: segment spec %+v needs a name and a type", sp)
+	boot := cfg.bootPipelines()
+	ids := make(map[string]bool, len(boot))
+	for _, spec := range boot {
+		if err := spec.validate(); err != nil {
+			return nil, err
 		}
-		if strings.Contains(sp.Name, "/") {
-			return nil, fmt.Errorf("river: segment name %q: '/' is reserved for replication units", sp.Name)
+		if ids[spec.ID] {
+			return nil, fmt.Errorf("river: duplicate pipeline ID %q", spec.ID)
 		}
-		if sp.Replicas < 0 {
-			return nil, fmt.Errorf("river: segment %q: negative replica count", sp.Name)
-		}
-		if seen[sp.Name] {
-			return nil, fmt.Errorf("river: duplicate segment name %q", sp.Name)
-		}
-		seen[sp.Name] = true
+		ids[spec.ID] = true
 	}
 	logf := func(format string, args ...any) {
 		if cfg.Logf != nil {
 			cfg.Logf("coordinator: "+format, args...)
 		}
 	}
-	st, restored, err := newState(cfg.StateDir, cfg.Spec, logf)
+	st, restored, err := newState(cfg.StateDir, boot, !cfg.JournalNoFsync, cfg.JournalFsyncInterval, logf)
 	if err != nil {
 		return nil, err
 	}
@@ -216,18 +283,19 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:      cfg,
-		ln:       ln,
-		ctx:      ctx,
-		cancel:   cancel,
-		kick:     make(chan struct{}, 1),
-		st:       st,
-		nodes:    make(map[string]*member),
-		watchers: make(map[*wire]struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		cfg:          cfg,
+		ln:           ln,
+		ctx:          ctx,
+		cancel:       cancel,
+		kick:         make(chan struct{}, 1),
+		st:           st,
+		nodes:        make(map[string]*member),
+		disconnected: make(map[string]time.Time),
+		watchers:     make(map[*wire]string),
+		conns:        make(map[net.Conn]struct{}),
 	}
 	if restored && st.hasPlacements() {
-		// Prior placements survived on disk — and, with v4 agents, their
+		// Prior placements survived on disk — and, with v4+ agents, their
 		// instances survived in memory on the (still-running) nodes. Open
 		// the grace window: until it closes, units whose host has not
 		// re-registered are presumed alive and are not re-placed, so a
@@ -236,8 +304,8 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		// made, so MinNodes must not gate post-grace re-placement.
 		c.bootstrapped = true
 		c.graceUntil = time.Now().Add(cfg.RestartGrace)
-		logf("restarted as epoch %d with %d reloaded placement(s); adopting agents for %s",
-			st.epoch, len(placedNames(st)), cfg.RestartGrace)
+		logf("restarted as epoch %d with %d pipeline(s), %d reloaded placement(s); adopting agents for %s",
+			st.epoch, len(st.order), len(placedNames(st)), cfg.RestartGrace)
 	}
 	c.wg.Add(2)
 	go c.acceptLoop()
@@ -248,11 +316,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 // placedNames lists the units the state currently places, for logs.
 func placedNames(st *state) []string {
 	var out []string
-	for _, u := range st.units {
-		if st.placements[u.name].node != "" {
-			out = append(out, u.name)
+	for name, p := range st.placements {
+		if p.node != "" {
+			out = append(out, name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -272,12 +341,101 @@ func (c *Coordinator) Epoch() uint64 {
 // Addr returns the bound control listen address agents and clients dial.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// EntryAddr returns the address of the pipeline's first segment, or ""
-// while it is unplaced. Sources dial (and follow) this address.
+// EntryAddr returns the default pipeline's entry address (the first
+// pipeline's when no default exists), or "" while it is unplaced. Sources
+// of named pipelines use PipelineEntryAddr.
 func (c *Coordinator) EntryAddr() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.st.entryAddr
+	if ps := c.defaultPipeline(); ps != nil {
+		return ps.entryAddr
+	}
+	return ""
+}
+
+// PipelineEntryAddr returns the named pipeline's entry address, or ""
+// while it is unplaced or unknown.
+func (c *Coordinator) PipelineEntryAddr(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ps := c.st.pipelines[id]; ps != nil {
+		return ps.entryAddr
+	}
+	return ""
+}
+
+// Pipelines returns the registered pipeline IDs in deterministic order.
+func (c *Coordinator) Pipelines() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.st.order...)
+}
+
+// defaultPipeline resolves the pipeline the pre-v5 single-pipeline API
+// surfaces refer to: the empty-ID pipeline, or the first by ID when every
+// pipeline is named. Callers hold mu.
+func (c *Coordinator) defaultPipeline() *pipelineState {
+	if ps := c.st.pipelines[""]; ps != nil {
+		return ps
+	}
+	if len(c.st.order) > 0 {
+		return c.st.pipelines[c.st.order[0]]
+	}
+	return nil
+}
+
+// AddPipeline registers a new pipeline at runtime: its units are placed
+// by the next reconcile passes onto the shared node pool, and the
+// addition is journaled so a restarted coordinator reloads it.
+func (c *Coordinator) AddPipeline(spec PipelineSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if _, dup := c.st.pipelines[spec.ID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("river: pipeline %q already exists", spec.ID)
+	}
+	c.st.addPipeline(spec)
+	c.mu.Unlock()
+	c.logf("pipeline %q added (%d segment(s) -> sink %s)", spec.ID, len(spec.Segments), spec.SinkAddr)
+	c.kickReconcile()
+	return nil
+}
+
+// RemovePipeline deletes a pipeline at runtime: its placed units are
+// stopped on their hosts, its watchers are disconnected, and the removal
+// is journaled so a restarted coordinator does not resurrect it.
+func (c *Coordinator) RemovePipeline(id string) error {
+	c.mu.Lock()
+	if _, ok := c.st.pipelines[id]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("river: unknown pipeline %q", id)
+	}
+	boot := c.st.pipelines[id].boot
+	placed := c.st.removePipeline(id)
+	for _, p := range placed {
+		c.pendingStops = append(c.pendingStops, stopReq{node: p.node, seg: p.u.name})
+	}
+	var ws []*wire
+	for w, pipe := range c.watchers {
+		if pipe == id {
+			ws = append(ws, w)
+			delete(c.watchers, w)
+		}
+	}
+	c.mu.Unlock()
+	for _, w := range ws {
+		_ = w.close()
+	}
+	c.logf("pipeline %q removed; stopping %d unit(s)", id, len(placed))
+	if boot && c.cfg.StateDir != "" {
+		// The config is the operator's intent for the IDs it declares, so
+		// this removal lasts only as long as this incarnation.
+		c.logf("pipeline %q is config-declared: a restarted coordinator will re-add it unless the config drops it", id)
+	}
+	c.kickReconcile()
+	return nil
 }
 
 // Close stops the coordinator: the listener and every control connection
@@ -300,8 +458,8 @@ func (c *Coordinator) Close() error {
 	return nil
 }
 
-// WaitPlaced blocks until every unit of the spec is placed (and the
-// entry address is known) or ctx expires.
+// WaitPlaced blocks until every unit of every pipeline is placed (and
+// every entry address is known) or ctx expires.
 func (c *Coordinator) WaitPlaced(ctx context.Context) error {
 	t := time.NewTicker(5 * time.Millisecond)
 	defer t.Stop()
@@ -322,8 +480,10 @@ func (c *Coordinator) WaitPlaced(ctx context.Context) error {
 func (c *Coordinator) allPlaced() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.st.entryAddr == "" {
-		return false
+	for _, ps := range c.st.pipelines {
+		if ps.entryAddr == "" {
+			return false
+		}
 	}
 	for _, p := range c.st.placements {
 		if p.node == "" {
@@ -334,16 +494,18 @@ func (c *Coordinator) allPlaced() bool {
 }
 
 // Status snapshots the cluster: registered nodes, their reported segment
-// counters, and current placements. The snapshot is deterministically
-// ordered — nodes and their segments sorted by name, placements in
-// topology order — so status output is scriptable and diffable.
+// counters, and every pipeline's placements. The snapshot is
+// deterministically ordered — pipelines by ID, nodes and their segments
+// sorted by name, placements in topology order — so status output is
+// scriptable and diffable. The top-level entry/sink/placement fields
+// carry the flattened pre-v5 view (see ClusterStatus).
 func (c *Coordinator) Status() *ClusterStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := &ClusterStatus{
-		Epoch:     c.st.epoch,
-		EntryAddr: c.st.entryAddr,
-		SinkAddr:  c.cfg.Spec.SinkAddr,
+	st := &ClusterStatus{Epoch: c.st.epoch}
+	if ps := c.defaultPipeline(); ps != nil {
+		st.EntryAddr = ps.entryAddr
+		st.SinkAddr = ps.spec.SinkAddr
 	}
 	names := make([]string, 0, len(c.nodes))
 	for name := range c.nodes {
@@ -362,20 +524,27 @@ func (c *Coordinator) Status() *ClusterStatus {
 			Proto:      m.proto,
 		})
 	}
-	for _, u := range c.st.units {
-		p := c.st.placements[u.name]
-		ps := PlacementStatus{
-			Seg:    u.name,
-			Type:   u.typ,
-			Role:   u.role,
-			Node:   p.node,
-			Addr:   p.addr,
-			Placed: p.node != "",
+	for _, id := range c.st.order {
+		ps := c.st.pipelines[id]
+		pst := PipelineStatus{ID: id, EntryAddr: ps.entryAddr, SinkAddr: ps.spec.SinkAddr}
+		for _, u := range ps.units {
+			p := c.st.placements[u.name]
+			plc := PlacementStatus{
+				Seg:      u.name,
+				Pipeline: id,
+				Type:     u.typ,
+				Role:     u.role,
+				Node:     p.node,
+				Addr:     p.addr,
+				Placed:   p.node != "",
+			}
+			if u.role != "" {
+				plc.Group = u.group
+			}
+			pst.Placements = append(pst.Placements, plc)
 		}
-		if u.role != "" {
-			ps.Group = u.group
-		}
-		st.Placements = append(st.Placements, ps)
+		st.Placements = append(st.Placements, pst.Placements...)
+		st.Pipelines = append(st.Pipelines, pst)
 	}
 	return st
 }
@@ -428,7 +597,8 @@ func (c *Coordinator) acceptLoop() {
 
 // handleConn dispatches one control connection by its first message:
 // register opens a long-lived node session, watch a long-lived entry
-// subscription, status and drain are client requests.
+// subscription, status / drain / pipeline_add / pipeline_remove are
+// client requests.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	w := newWire(conn)
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
@@ -444,12 +614,26 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		_ = w.send(&Message{Type: TypeAck, ID: first.ID, Status: c.Status()})
 	case TypeDrain:
 		reply := &Message{Type: TypeAck, ID: first.ID}
-		if err := c.Drain(first.Seg); err != nil {
+		if err := c.Drain(scopedName(first.Pipeline, first.Seg)); err != nil {
+			reply.Err = err.Error()
+		}
+		_ = w.send(reply)
+	case TypePipelineAdd:
+		reply := &Message{Type: TypeAck, ID: first.ID}
+		if first.Spec == nil {
+			reply.Err = "pipeline_add without a spec"
+		} else if err := c.AddPipeline(*first.Spec); err != nil {
+			reply.Err = err.Error()
+		}
+		_ = w.send(reply)
+	case TypePipelineRemove:
+		reply := &Message{Type: TypeAck, ID: first.ID}
+		if err := c.RemovePipeline(first.Pipeline); err != nil {
 			reply.Err = err.Error()
 		}
 		_ = w.send(reply)
 	case TypeWatch:
-		c.serveWatcher(w)
+		c.serveWatcher(w, first.Pipeline)
 	default:
 		_ = w.send(&Message{Type: TypeAck, ID: first.ID,
 			Err: fmt.Sprintf("unexpected first message %q", first.Type)})
@@ -483,6 +667,8 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 		return
 	}
 	c.nodes[name] = m
+	// The node is back; its disconnect-grace deadline (if any) is moot.
+	delete(c.disconnected, name)
 	// Reconcile the agent's hosted-unit inventory against the desired
 	// state: adopt what matches (the v4 detach/re-register path — after a
 	// control blip or a coordinator restart the instances never stopped),
@@ -576,11 +762,17 @@ func inventoryStats(inv []UnitInventory) []SegmentStatus {
 	return out
 }
 
-// serveWatcher streams entry-address updates to one subscriber until its
-// connection drops.
-func (c *Coordinator) serveWatcher(w *wire) {
+// serveWatcher streams one pipeline's entry-address updates to one
+// subscriber until its connection drops. An unknown pipeline is refused
+// with an error ack so the watcher does not hang on silence.
+func (c *Coordinator) serveWatcher(w *wire, pipe string) {
 	c.mu.Lock()
-	c.watchers[w] = struct{}{}
+	if _, ok := c.st.pipelines[pipe]; !ok {
+		c.mu.Unlock()
+		_ = w.send(&Message{Type: TypeAck, Err: fmt.Sprintf("unknown pipeline %q", pipe)})
+		return
+	}
+	c.watchers[w] = pipe
 	c.mu.Unlock()
 	// Send the current address, re-reading until it is stable: a setEntry
 	// broadcast racing this initial send could otherwise slip in first and
@@ -588,12 +780,15 @@ func (c *Coordinator) serveWatcher(w *wire) {
 	lastSent := ""
 	for {
 		c.mu.Lock()
-		cur := c.st.entryAddr
+		cur := ""
+		if ps := c.st.pipelines[pipe]; ps != nil {
+			cur = ps.entryAddr
+		}
 		c.mu.Unlock()
 		if cur == lastSent {
 			break
 		}
-		if err := w.send(&Message{Type: TypeEntry, Addr: cur}); err != nil {
+		if err := w.send(&Message{Type: TypeEntry, Addr: cur, Pipeline: pipe}); err != nil {
 			c.dropWatcher(w)
 			return
 		}
@@ -613,8 +808,11 @@ func (c *Coordinator) dropWatcher(w *wire) {
 	c.mu.Unlock()
 }
 
-// markDead removes a node and frees its units for re-placement; in-flight
-// RPCs against it fail immediately.
+// markDead removes a node; in-flight RPCs against it fail immediately.
+// Without a DisconnectGrace its units are freed for re-placement on the
+// spot; with one, they stay presumed-alive until the grace deadline so a
+// blipped agent's reconnect-and-adopt wins over a needless move (the
+// lazy expiry lives in unitHost).
 func (c *Coordinator) markDead(name, reason string) {
 	if c.ctx.Err() != nil {
 		// The coordinator itself is shutting down: agent sessions are
@@ -638,23 +836,35 @@ func (c *Coordinator) markDead(name, reason string) {
 	}
 	m.pending = nil
 	var lost []string
-	for _, u := range c.st.units {
-		if p := c.st.placements[u.name]; p.node == name {
-			c.st.clear(p)
-			lost = append(lost, u.name)
+	hosts := false
+	for _, p := range c.st.placements {
+		if p.node == name {
+			hosts = true
+			if c.cfg.DisconnectGrace <= 0 {
+				c.st.clear(p)
+				lost = append(lost, p.u.name)
+			}
 		}
+	}
+	if hosts && c.cfg.DisconnectGrace > 0 {
+		c.disconnected[name] = time.Now().Add(c.cfg.DisconnectGrace)
 	}
 	c.mu.Unlock()
 	_ = m.w.close()
-	if len(lost) > 0 {
+	sort.Strings(lost)
+	switch {
+	case len(lost) > 0:
 		c.logf("node %s dead (%s); re-placing %v", name, reason, lost)
-	} else {
+	case hosts && c.cfg.DisconnectGrace > 0:
+		c.logf("node %s disconnected (%s); holding its units %s for reconnect-and-adopt",
+			name, reason, c.cfg.DisconnectGrace)
+	default:
 		c.logf("node %s dead (%s)", name, reason)
 	}
 	c.kickReconcile()
 }
 
-// reconcileLoop drives the cluster toward the spec: it expires silent
+// reconcileLoop drives the cluster toward the specs: it expires silent
 // nodes and reconciles placements and splices, waking on
 // registration/death kicks and on a timer that paces heartbeat expiry
 // (and retries any RPC that failed last pass).
@@ -694,14 +904,16 @@ func (c *Coordinator) expireDead() {
 	}
 }
 
-// reconcile drives every unit toward the spec, walking the chain
-// sink-to-source so a fresh placement always has a live address to
-// forward to. It is declarative: each pass computes every unit's desired
-// downstream (or leg set) and places, redirects or re-legs whatever
-// differs from what the live instance was last told — so a failed RPC is
-// simply retried on the next pass, and a moved downstream re-splices its
-// upstream automatically. Within a replicated group the order is merger,
-// replicas, splitter; the splitter is the group's entry point.
+// reconcile drives every pipeline toward its spec. Pipelines reconcile
+// independently in deterministic ID order; within one, the chain is
+// walked sink-to-source so a fresh placement always has a live address
+// to forward to. It is declarative: each pass computes every unit's
+// desired downstream (or leg set) and places, redirects or re-legs
+// whatever differs from what the live instance was last told — so a
+// failed RPC is simply retried on the next pass, and a moved downstream
+// re-splices its upstream automatically. Within a replicated group the
+// order is merger, replicas, splitter; the splitter is the group's entry
+// point.
 func (c *Coordinator) reconcile() {
 	// Clean up dead segment instances first. Running the stops on this
 	// goroutine, before any placement, guarantees a queued stop executes
@@ -709,6 +921,10 @@ func (c *Coordinator) reconcile() {
 	c.mu.Lock()
 	stops := c.pendingStops
 	c.pendingStops = nil
+	pipes := make([]*pipelineState, 0, len(c.st.order))
+	for _, id := range c.st.order {
+		pipes = append(pipes, c.st.pipelines[id])
+	}
 	c.mu.Unlock()
 	for _, s := range stops {
 		// Best effort: the ack may carry the dead segment's processing
@@ -719,16 +935,23 @@ func (c *Coordinator) reconcile() {
 		}
 	}
 
-	specs := c.cfg.Spec.Segments
+	for _, ps := range pipes {
+		c.reconcilePipeline(ps)
+	}
+}
+
+// reconcilePipeline runs one reconcile pass over one pipeline's chain.
+func (c *Coordinator) reconcilePipeline(ps *pipelineState) {
+	specs := ps.spec.Segments
 	for i := len(specs) - 1; i >= 0; i-- {
 		if c.ctx.Err() != nil {
 			return
 		}
-		down := c.cfg.Spec.SinkAddr
+		down := ps.spec.SinkAddr
 		if i < len(specs)-1 {
-			down = c.entryAddrOf(i + 1)
+			down = c.entryAddrOf(ps, i+1)
 		}
-		us := c.st.unitsBySpec[i]
+		us := ps.unitsBySpec[i]
 		if len(us) == 1 {
 			c.ensureUnit(us[0], down)
 			continue
@@ -742,33 +965,63 @@ func (c *Coordinator) reconcile() {
 		}
 		c.ensureSplitter(us[len(us)-1], legs)
 	}
-	if e := c.entryAddrOf(0); e != "" {
-		c.setEntry(e)
+	if e := c.entryAddrOf(ps, 0); e != "" {
+		c.setEntry(ps.id, e)
 	}
 }
 
 // entryAddrOf returns the address upstream traffic for spec i dials (its
 // last unit: the plain segment, or the group's splitter), or "" while
 // unplaced.
-func (c *Coordinator) entryAddrOf(i int) string {
+func (c *Coordinator) entryAddrOf(ps *pipelineState, i int) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	us := c.st.unitsBySpec[i]
-	return c.st.placements[us[len(us)-1].name].addr
+	us := ps.unitsBySpec[i]
+	if p := c.st.placements[us[len(us)-1].name]; p != nil {
+		return p.addr
+	}
+	return ""
 }
 
-// unitHost reads a unit's placement and resolves the restart grace
-// window: a unit placed on a node that has not (re-)registered is left
-// untouched while the window is open — its instance is presumed to still
-// be running detached, so its address stays valid for splicing — and is
-// freed for re-placement once the window closes. It returns the
-// placement plus a live flag; !live means "hands off this pass".
+// unitHost reads a unit's placement and resolves the grace windows: a
+// unit placed on a node that has not (re-)registered is left untouched
+// while the restart grace window — or its node's disconnect grace — is
+// open (its instance is presumed to still be running detached, so its
+// address stays valid for splicing), and is freed for re-placement once
+// the window closes. It returns the placement plus a live flag; !live
+// means "hands off this pass". A nil placement means the unit's pipeline
+// was removed mid-pass.
 func (c *Coordinator) unitHost(u unit) (p *placement, node, addr, down string, legs []string, live bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p = c.st.placements[u.name]
+	if p == nil {
+		return nil, "", "", "", nil, false
+	}
 	if p.node != "" {
 		if _, registered := c.nodes[p.node]; !registered {
+			if deadline, ok := c.disconnected[p.node]; ok {
+				if time.Now().Before(deadline) {
+					return p, p.node, p.addr, p.down, p.legs, false
+				}
+				node := p.node
+				c.logf("unit %s lost: node %s never reconnected within its disconnect grace; re-placing", u.name, node)
+				c.st.clear(p)
+				// Drop the grace entry once nothing is recorded against
+				// the node anymore; until then later units this pass read
+				// the same expired deadline and log the same cause.
+				still := false
+				for _, q := range c.st.placements {
+					if q.node == node {
+						still = true
+						break
+					}
+				}
+				if !still {
+					delete(c.disconnected, node)
+				}
+				return p, "", "", "", nil, true
+			}
 			if c.inGrace() {
 				return p, p.node, p.addr, p.down, p.legs, false
 			}
@@ -777,6 +1030,18 @@ func (c *Coordinator) unitHost(u unit) (p *placement, node, addr, down string, l
 		}
 	}
 	return p, p.node, p.addr, p.down, append([]string(nil), p.legs...), true
+}
+
+// commitIfCurrent records a fresh assignment under mu, unless the unit
+// was removed (its pipeline deleted) while the assign RPC was in flight —
+// in which case the fresh instance is orphaned and queued for a stop.
+// Returns false when the commit was refused.
+func (c *Coordinator) commitIfCurrent(u unit, p *placement, pick string) bool {
+	if c.st.placements[u.name] != p {
+		c.pendingStops = append(c.pendingStops, stopReq{node: pick, seg: u.name})
+		return false
+	}
+	return true
 }
 
 // ensureUnit places unit u (forwarding to down) if it is unplaced, or
@@ -809,6 +1074,11 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 			c.mu.Unlock()
 			return ""
 		}
+		if !c.commitIfCurrent(u, p, pick) {
+			c.mu.Unlock()
+			c.kickReconcile()
+			return ""
+		}
 		if p.node != "" {
 			// A re-registering agent's surviving instance was adopted
 			// back while our assign was in flight: keep the survivor
@@ -835,8 +1105,10 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 			return addr
 		}
 		c.mu.Lock()
-		p.down = down
-		c.st.commit(p)
+		if c.st.placements[u.name] == p {
+			p.down = down
+			c.st.commit(p)
+		}
 		c.mu.Unlock()
 		c.logf("%s re-spliced to %s", u.name, down)
 	}
@@ -876,6 +1148,11 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 			c.mu.Unlock()
 			return ""
 		}
+		if !c.commitIfCurrent(u, p, pick) {
+			c.mu.Unlock()
+			c.kickReconcile()
+			return ""
+		}
 		if p.node != "" {
 			// Adopted back mid-assign (see ensureUnit): keep the
 			// survivor, stop the duplicate.
@@ -900,8 +1177,10 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 			return addr
 		}
 		c.mu.Lock()
-		p.legs = append([]string(nil), legs...)
-		c.st.commit(p)
+		if c.st.placements[u.name] == p {
+			p.legs = append([]string(nil), legs...)
+			c.st.commit(p)
+		}
 		c.mu.Unlock()
 		c.logf("splitter %s legs now %v", u.name, legs)
 	}
@@ -910,42 +1189,45 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 
 // pickNode chooses a live node for unit u via the placement policy,
 // excluding (if non-empty) one node a drain is moving away from. Each
-// candidate carries its placed-segment count plus the flow telemetry from
-// its latest heartbeat, and whether it hosts a topology neighbor of u —
-// an adjacent spec segment, or a unit of u's own replication group — so
-// policies can spread chains across failure domains. Replicas go further:
-// candidates hosting a sibling replica are excluded outright while any
-// alternative exists, so the copies land on distinct nodes under every
-// policy. Returns "" until MinNodes nodes have registered at least once
-// (the bootstrap gate).
+// candidate carries its placed-segment count — across every pipeline,
+// since the node pool is shared — plus the flow telemetry from its
+// latest heartbeat, and whether it hosts a topology neighbor of u within
+// u's own pipeline (an adjacent spec segment, or a unit of u's own
+// replication group), so policies can spread chains across failure
+// domains without pipelines penalizing each other's placements. Replicas
+// go further: candidates hosting a sibling replica are excluded outright
+// while any alternative exists, so the copies land on distinct nodes
+// under every policy. Returns "" until MinNodes nodes have registered at
+// least once (the bootstrap gate).
 func (c *Coordinator) pickNode(u unit, exclude string) string {
 	c.mu.Lock()
-	if !c.bootstrapped {
-		if len(c.nodes) < c.cfg.MinNodes {
+	ps := c.st.pipelineOf(u)
+	if !c.bootstrapped || ps == nil {
+		if ps == nil || len(c.nodes) < c.cfg.MinNodes {
 			c.mu.Unlock()
 			return ""
 		}
 		c.bootstrapped = true
 	}
-	specIdx := c.st.specIndex[u.group]
+	specIdx := ps.specIndex[u.group]
 	neighbors := make(map[string]bool)
 	siblings := make(map[string]bool)
 	for _, j := range []int{specIdx - 1, specIdx + 1} {
-		if j < 0 || j >= len(c.st.unitsBySpec) {
+		if j < 0 || j >= len(ps.unitsBySpec) {
 			continue
 		}
-		for _, v := range c.st.unitsBySpec[j] {
-			if p := c.st.placements[v.name]; p.node != "" {
+		for _, v := range ps.unitsBySpec[j] {
+			if p := c.st.placements[v.name]; p != nil && p.node != "" {
 				neighbors[p.node] = true
 			}
 		}
 	}
-	for _, v := range c.st.unitsBySpec[specIdx] {
+	for _, v := range ps.unitsBySpec[specIdx] {
 		if v.name == u.name {
 			continue
 		}
 		p := c.st.placements[v.name]
-		if p.node == "" {
+		if p == nil || p.node == "" {
 			continue
 		}
 		neighbors[p.node] = true
@@ -995,15 +1277,18 @@ func (c *Coordinator) pickNode(u unit, exclude string) string {
 // operator-initiated counterpart of failover re-placement, built to
 // repair zero scopes: a fresh instance is placed first, the stream is
 // spliced over without cutting it mid-scope, and the old instance is
-// stopped only after its tail has settled downstream.
+// stopped only after its tail has settled downstream. unitName is the
+// scoped placement key (e.g. "extract", or "pA:extract/r2" for a named
+// pipeline's replica).
 //
 // For a replica unit the splice is a splitter leg swap (the merger's
 // dedup makes the handover invisible at any stream position). For an
 // ordinary segment the upstream neighbor redirects at the next top-level
 // scope boundary, so the old instance's final connection ends with a
-// structurally complete stream; draining the entry segment publishes the
-// new address immediately (external sources redirect eagerly).
-// Splitter/merger endpoints cannot be drained — move their replicas.
+// structurally complete stream; draining a pipeline's entry segment
+// publishes the new address immediately (external sources redirect
+// eagerly). Splitter/merger endpoints cannot be drained — move their
+// replicas.
 func (c *Coordinator) Drain(unitName string) error {
 	c.drainMu.Lock()
 	defer c.drainMu.Unlock()
@@ -1014,8 +1299,12 @@ func (c *Coordinator) Drain(unitName string) error {
 		return fmt.Errorf("river: unknown unit %q", unitName)
 	}
 	u := p.u
+	ps := c.st.pipelineOf(u)
 	oldNode, oldAddr, down := p.node, p.addr, p.down
 	c.mu.Unlock()
+	if ps == nil {
+		return fmt.Errorf("river: unknown unit %q", unitName)
+	}
 	switch u.role {
 	case RoleSplit, RoleMerge:
 		return errors.New("river: draining a replication endpoint is not supported; drain its replicas instead")
@@ -1048,15 +1337,19 @@ func (c *Coordinator) Drain(unitName string) error {
 		splitName := u.group + "/split"
 		c.mu.Lock()
 		sp := c.st.placements[splitName]
-		splitNode := sp.node
-		legs := make([]string, 0, len(sp.legs)+1)
-		for _, a := range sp.legs {
-			if a != oldAddr {
-				legs = append(legs, a)
+		splitNode := ""
+		var legs []string
+		if sp != nil {
+			splitNode = sp.node
+			legs = make([]string, 0, len(sp.legs)+1)
+			for _, a := range sp.legs {
+				if a != oldAddr {
+					legs = append(legs, a)
+				}
 			}
+			legs = append(legs, newAddr)
+			sort.Strings(legs)
 		}
-		legs = append(legs, newAddr)
-		sort.Strings(legs)
 		c.mu.Unlock()
 		if splitNode != "" {
 			if err := c.setLegs(splitNode, splitName, legs); err != nil {
@@ -1068,7 +1361,7 @@ func (c *Coordinator) Drain(unitName string) error {
 				onCommit = func() { sp.legs = legs; c.st.commit(sp) }
 			}
 		}
-	case c.st.specIndex[u.group] == 0:
+	case ps.specIndex[u.group] == 0:
 		// Unlike the mid-chain path there is no ack that the external
 		// source switched: give it the full boundary window sources use
 		// (see WatchEntryUpdates / StreamOut.RedirectAtBoundary) before
@@ -1082,11 +1375,14 @@ func (c *Coordinator) Drain(unitName string) error {
 			settle = entryBoundaryWindow
 		}
 	default:
-		upUnits := c.st.unitsBySpec[c.st.specIndex[u.group]-1]
+		upUnits := ps.unitsBySpec[ps.specIndex[u.group]-1]
 		up := upUnits[0] // the spec's exit unit: plain segment or merger
 		c.mu.Lock()
 		upP := c.st.placements[up.name]
-		upNode := upP.node
+		upNode := ""
+		if upP != nil {
+			upNode = upP.node
+		}
 		c.mu.Unlock()
 		if upNode == "" {
 			return fmt.Errorf("river: upstream of %q is unplaced; cannot splice", unitName)
@@ -1098,6 +1394,15 @@ func (c *Coordinator) Drain(unitName string) error {
 	}
 
 	c.mu.Lock()
+	if c.st.placements[unitName] != p {
+		// The pipeline was removed while the drain was in flight: both
+		// the old and the fresh instance are orphans now.
+		c.pendingStops = append(c.pendingStops,
+			stopReq{node: oldNode, seg: unitName}, stopReq{node: dest, seg: unitName})
+		c.mu.Unlock()
+		c.kickReconcile()
+		return fmt.Errorf("river: pipeline of %q removed mid-drain", unitName)
+	}
 	if _, alive := c.nodes[dest]; !alive {
 		// The destination died mid-drain: leave the unit free so the
 		// reconcile loop re-places it (the old instance, already spliced
@@ -1113,15 +1418,17 @@ func (c *Coordinator) Drain(unitName string) error {
 		onCommit()
 	}
 	var ws []*wire
-	if entryDrain && c.st.setEntry(newAddr) {
-		for w := range c.watchers {
-			ws = append(ws, w)
+	if entryDrain && c.st.setEntry(u.pipe, newAddr) {
+		for w, pipe := range c.watchers {
+			if pipe == u.pipe {
+				ws = append(ws, w)
+			}
 		}
 	}
 	c.mu.Unlock()
 	if entryDrain {
-		c.logf("pipeline entry now %s (boundary drain)", newAddr)
-		c.broadcastEntry(ws, newAddr, true)
+		c.logf("pipeline %q entry now %s (boundary drain)", u.pipe, newAddr)
+		c.broadcastEntry(ws, u.pipe, newAddr, true)
 	}
 	c.logf("drained %s: %s -> %s at %s", unitName, oldNode, dest, newAddr)
 
@@ -1209,36 +1516,44 @@ func (c *Coordinator) rpc(node string, msg *Message) (*Message, error) {
 	}
 }
 
-// setEntry records a new pipeline entry address (an immediate move:
-// failover or initial placement) and notifies watchers and the
-// OnEntryChange hook. Entry drains bypass it — they commit the address
-// together with the placement and broadcast with the boundary hint.
-func (c *Coordinator) setEntry(addr string) {
+// setEntry records a pipeline's new entry address (an immediate move:
+// failover or initial placement) and notifies that pipeline's watchers —
+// and, for the default pipeline, the OnEntryChange hook. Entry drains
+// bypass it — they commit the address together with the placement and
+// broadcast with the boundary hint.
+func (c *Coordinator) setEntry(pipe, addr string) {
 	c.mu.Lock()
-	if !c.st.setEntry(addr) {
+	if !c.st.setEntry(pipe, addr) {
 		c.mu.Unlock()
 		return
 	}
-	ws := make([]*wire, 0, len(c.watchers))
-	for w := range c.watchers {
-		ws = append(ws, w)
+	var ws []*wire
+	for w, id := range c.watchers {
+		if id == pipe {
+			ws = append(ws, w)
+		}
 	}
 	c.mu.Unlock()
-	c.logf("pipeline entry now %s", addr)
-	c.broadcastEntry(ws, addr, false)
+	if pipe == "" {
+		c.logf("pipeline entry now %s", addr)
+	} else {
+		c.logf("pipeline %q entry now %s", pipe, addr)
+	}
+	c.broadcastEntry(ws, pipe, addr, false)
 }
 
-// broadcastEntry notifies watchers (and the OnEntryChange hook) of an
-// entry address; boundary asks watching sources to switch at their next
-// top-level scope boundary rather than immediately.
-func (c *Coordinator) broadcastEntry(ws []*wire, addr string, boundary bool) {
+// broadcastEntry notifies a pipeline's watchers (and, for the default
+// pipeline, the OnEntryChange hook) of an entry address; boundary asks
+// watching sources to switch at their next top-level scope boundary
+// rather than immediately.
+func (c *Coordinator) broadcastEntry(ws []*wire, pipe, addr string, boundary bool) {
 	for _, w := range ws {
-		if err := w.send(&Message{Type: TypeEntry, Addr: addr, Boundary: boundary}); err != nil {
+		if err := w.send(&Message{Type: TypeEntry, Addr: addr, Pipeline: pipe, Boundary: boundary}); err != nil {
 			c.dropWatcher(w)
 			_ = w.close()
 		}
 	}
-	if c.cfg.OnEntryChange != nil {
+	if pipe == "" && c.cfg.OnEntryChange != nil {
 		c.cfg.OnEntryChange(addr)
 	}
 }

@@ -20,6 +20,12 @@ import (
 )
 
 // ProtocolVersion is the control protocol revision this build speaks.
+// Version 5 made the coordinator a multi-pipeline control plane: watch
+// subscriptions, entry notifications and drains are scoped to a pipeline
+// ID, the status snapshot reports per-pipeline topology, and two new
+// client verbs ("pipeline_add" / "pipeline_remove") add and remove whole
+// pipelines at runtime — journaled, so a restarted coordinator reloads
+// the full set.
 // Version 2 added flow-control telemetry to heartbeats (lag, queue depth,
 // batch/byte counters). Version 3 added the replication topology: assign
 // messages carry a role (splitter/merger endpoint vs ordinary segment),
@@ -40,7 +46,7 @@ import (
 // Agents announce their version in the register message; the coordinator
 // records it and echoes its own in the ack, so operators can spot
 // mixed-version clusters in status output.
-const ProtocolVersion = 4
+const ProtocolVersion = 5
 
 // Control message types. Register, heartbeat and ack flow from agents to
 // the coordinator; assign, redirect and stop flow the other way. Status
@@ -70,10 +76,19 @@ const (
 	TypeDrain = "drain"
 	// TypeStatus requests a ClusterStatus snapshot (client session).
 	TypeStatus = "status"
-	// TypeWatch subscribes a client to pipeline entry-address updates.
+	// TypeWatch subscribes a client to entry-address updates for the
+	// pipeline named by Pipeline (absent = the default pipeline,
+	// protocol v5; pre-v5 watchers never set it, which is the same).
 	TypeWatch = "watch"
-	// TypeEntry notifies a watcher that the entry address is now Addr.
+	// TypeEntry notifies a watcher that its pipeline's entry address is
+	// now Addr; Pipeline echoes which pipeline moved.
 	TypeEntry = "entry"
+	// TypePipelineAdd asks the coordinator (client session, protocol v5)
+	// to add and start maintaining the pipeline carried in Spec.
+	TypePipelineAdd = "pipeline_add"
+	// TypePipelineRemove asks the coordinator (client session, protocol
+	// v5) to remove pipeline Pipeline and stop all its units.
+	TypePipelineRemove = "pipeline_remove"
 	// TypeAck answers a request; ID echoes the request's ID, Err carries
 	// a failure reason.
 	TypeAck = "ack"
@@ -132,6 +147,14 @@ type Message struct {
 	// v4); it advances every time the coordinator restarts from its
 	// journaled state, so agents and operators can tell restarts apart.
 	CoordEpoch uint64 `json:"coord_epoch,omitempty"`
+	// Pipeline scopes a message to one pipeline (protocol v5): the watch
+	// subscription and entry notifications, a pipeline_remove target, and
+	// optionally a drain (a drain's Seg may instead carry the scoped unit
+	// name directly). Absent means the default pipeline, which is the only
+	// pipeline pre-v5 peers know.
+	Pipeline string `json:"pipeline,omitempty"`
+	// Spec is a pipeline_add's full pipeline description (protocol v5).
+	Spec *PipelineSpec `json:"spec,omitempty"`
 	// Adopted and StopUnits answer a v4 register's inventory: the units
 	// the coordinator accepted into its desired state as-is, and the
 	// units the agent must stop because they are no longer wanted (stale
@@ -243,29 +266,48 @@ type NodeStatus struct {
 // PlacementStatus describes where one placement unit currently runs. A
 // plain spec segment is one unit; a replicated segment expands into a
 // merger, N replicas and a splitter, reported as units of the same Group
-// with their Role set (protocol v3).
+// with their Role set (protocol v3). Seg is the scoped unit name (the
+// placement key agents host it under); Pipeline names the owning
+// pipeline (protocol v5, absent for the default pipeline).
 type PlacementStatus struct {
-	Seg    string `json:"seg"`
-	Type   string `json:"type"`
-	Group  string `json:"group,omitempty"`
-	Role   string `json:"role,omitempty"`
-	Node   string `json:"node,omitempty"`
-	Addr   string `json:"addr,omitempty"`
-	Placed bool   `json:"placed"`
+	Seg      string `json:"seg"`
+	Pipeline string `json:"pipeline,omitempty"`
+	Type     string `json:"type"`
+	Group    string `json:"group,omitempty"`
+	Role     string `json:"role,omitempty"`
+	Node     string `json:"node,omitempty"`
+	Addr     string `json:"addr,omitempty"`
+	Placed   bool   `json:"placed"`
 }
 
-// ClusterStatus is the coordinator's full view: topology, entry point,
-// registered nodes and segment placements. It is deterministically
-// ordered (nodes and their segments sorted by name, placements in
-// topology order) so serialized snapshots are scriptable and diffable.
+// PipelineStatus is one pipeline's slice of the cluster: its identity,
+// stream endpoints and unit placements in topology order (protocol v5).
+type PipelineStatus struct {
+	ID         string            `json:"id,omitempty"`
+	EntryAddr  string            `json:"entry_addr,omitempty"`
+	SinkAddr   string            `json:"sink_addr"`
+	Placements []PlacementStatus `json:"placements"`
+}
+
+// ClusterStatus is the coordinator's full view: per-pipeline topology and
+// entry points, registered nodes and segment placements. It is
+// deterministically ordered (pipelines by ID, nodes and their segments
+// sorted by name, placements in topology order) so serialized snapshots
+// are scriptable and diffable.
 type ClusterStatus struct {
 	// Epoch is the coordinator's incarnation: 1 for a fresh coordinator,
 	// advancing by one every restart from journaled state (protocol v4).
-	Epoch      uint64            `json:"epoch,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// EntryAddr, SinkAddr and Placements are the pre-v5 single-pipeline
+	// view: the default pipeline's entry/sink (the first pipeline's when
+	// no default exists) and every pipeline's placements flattened in
+	// pipeline order — identical to the v4 snapshot for a coordinator
+	// running one default pipeline. Pipelines is the scoped view.
 	EntryAddr  string            `json:"entry_addr,omitempty"`
 	SinkAddr   string            `json:"sink_addr"`
 	Nodes      []NodeStatus      `json:"nodes"`
 	Placements []PlacementStatus `json:"placements"`
+	Pipelines  []PipelineStatus  `json:"pipelines,omitempty"`
 }
 
 // maxFrame bounds a control frame; the largest legitimate message is a

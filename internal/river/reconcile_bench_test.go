@@ -1,0 +1,77 @@
+package river
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkReconcileManyPipelines measures coordinator reconcile
+// throughput as the pipeline registry grows: a steady-state pass (every
+// unit placed and converged, nothing to RPC) over 1, 8 and 64 two-segment
+// pipelines sharing an 8-node pool. This is the control plane's hot loop
+// — it runs every kick and every quarter-heartbeat-timeout tick — so its
+// cost bounds how many stations one coordinator can serve.
+func BenchmarkReconcileManyPipelines(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("pipelines-%d", n), func(b *testing.B) {
+			specs := make([]PipelineSpec, n)
+			for i := range specs {
+				specs[i] = PipelineSpec{
+					ID: fmt.Sprintf("p%03d", i),
+					Segments: []SegmentSpec{
+						{Name: "front", Type: "relay"},
+						{Name: "back", Type: "relay"},
+					},
+					SinkAddr: "127.0.0.1:9",
+				}
+			}
+			coord, err := NewCoordinator(Config{
+				Pipelines: specs,
+				// Park the background loop so the timed passes run here.
+				HeartbeatInterval: time.Hour,
+				HeartbeatTimeout:  4 * time.Hour,
+				Logf:              nil,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer coord.Close()
+
+			// Synthetically register an 8-node pool and place every unit
+			// in its converged position, so each measured pass is the
+			// steady-state table walk (no assigns, no redirects).
+			const pool = 8
+			coord.mu.Lock()
+			now := time.Now().Add(time.Hour) // never heartbeat-expired
+			for i := 0; i < pool; i++ {
+				name := fmt.Sprintf("node-%d", i)
+				coord.nodes[name] = &member{
+					name: name, lastBeat: now,
+					pending: make(map[uint64]chan *Message),
+				}
+			}
+			coord.bootstrapped = true
+			for i, id := range coord.st.order {
+				ps := coord.st.pipelines[id]
+				back := coord.st.placements[ps.units[1].name]
+				back.node = fmt.Sprintf("node-%d", (2*i)%pool)
+				back.addr = fmt.Sprintf("127.0.0.1:%d", 20000+2*i)
+				back.down = ps.spec.SinkAddr
+				front := coord.st.placements[ps.units[0].name]
+				front.node = fmt.Sprintf("node-%d", (2*i+1)%pool)
+				front.addr = fmt.Sprintf("127.0.0.1:%d", 20001+2*i)
+				front.down = back.addr
+				ps.entryAddr = front.addr
+			}
+			coord.mu.Unlock()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				coord.reconcile()
+			}
+			b.ReportMetric(float64(2*n), "units/pass")
+		})
+	}
+}

@@ -298,6 +298,8 @@ type fakeAgent struct {
 	// got through.
 	dropRedirects  atomic.Int32
 	redirectsAcked atomic.Int32
+	// assignsAcked counts the assign requests this agent acknowledged.
+	assignsAcked atomic.Int32
 	// statsMu/stats is the segment telemetry carried in heartbeats, so
 	// tests can feed the coordinator precise load pictures.
 	statsMu sync.Mutex
@@ -318,6 +320,13 @@ func (f *fakeAgent) getStats() []SegmentStatus {
 }
 
 func newFakeAgent(t *testing.T, coordAddr, name, segAddr string) *fakeAgent {
+	return newFakeAgentInv(t, coordAddr, name, segAddr, nil)
+}
+
+// newFakeAgentInv registers like a v5 agent carrying a hosted-unit
+// inventory, so tests can replay the reconnect-and-adopt handshake by
+// hand.
+func newFakeAgentInv(t *testing.T, coordAddr, name, segAddr string, inv []UnitInventory) *fakeAgent {
 	t.Helper()
 	conn, err := net.Dial("tcp", coordAddr)
 	if err != nil {
@@ -325,7 +334,11 @@ func newFakeAgent(t *testing.T, coordAddr, name, segAddr string) *fakeAgent {
 	}
 	f := &fakeAgent{t: t, w: newWire(conn), addr: segAddr,
 		hbStop: make(chan struct{}), done: make(chan struct{})}
-	if err := f.w.send(&Message{Type: TypeRegister, Node: name}); err != nil {
+	reg := &Message{Type: TypeRegister, Node: name}
+	if inv != nil {
+		reg.Ver, reg.Inventory = ProtocolVersion, inv
+	}
+	if err := f.w.send(reg); err != nil {
 		t.Fatalf("fake %s: register: %v", name, err)
 	}
 	ack, err := f.w.recv()
@@ -342,6 +355,7 @@ func newFakeAgent(t *testing.T, coordAddr, name, segAddr string) *fakeAgent {
 			}
 			switch msg.Type {
 			case TypeAssign:
+				f.assignsAcked.Add(1)
 				_ = f.w.send(&Message{Type: TypeAck, ID: msg.ID, Addr: f.addr})
 			case TypeRedirect:
 				if f.dropRedirects.Add(-1) >= 0 {

@@ -8,36 +8,53 @@ import (
 	"path/filepath"
 	"slices"
 	"sort"
+	"sync"
 	"syscall"
+	"time"
 )
 
-// unit is one placeable instance derived from the spec: a plain segment,
-// or one of the merger/replica/splitter roles a replicated segment
-// expands into. Unit names double as the hosted instance names on agents.
+// unit is one placeable instance derived from a pipeline's spec: a plain
+// segment, or one of the merger/replica/splitter roles a replicated
+// segment expands into. Unit names are pipeline-scoped (see scopedName)
+// and double as the hosted instance names on agents, so one agent can
+// host units of many pipelines without collisions.
 type unit struct {
-	name  string // placement key, e.g. "extract" or "extract/r2"
-	group string // owning spec segment name
+	name  string // scoped placement key, e.g. "extract" or "pA:extract/r2"
+	pipe  string // owning pipeline ID ("" for the back-compat default)
+	group string // scoped owning spec segment name
 	typ   string // registry type ("" for splitter/merger endpoints)
 	role  string // "", RoleSplit, RoleMerge, RoleReplica
 	idx   int    // replica ordinal (1-based) for RoleReplica
 }
 
+// scopedName prefixes a unit or group name with its pipeline ID. The
+// default pipeline (empty ID) keeps bare names, which makes the journal
+// format — and every placement key — byte-compatible with the
+// single-pipeline coordinator of protocol v4.
+func scopedName(pipe, name string) string {
+	if pipe == "" {
+		return name
+	}
+	return pipe + ":" + name
+}
+
 // expandSpec derives the placement units of one spec segment, in
 // placement order: downstream-most first (merger, then replicas, then the
 // splitter — which is the group's entry point for upstream traffic).
-func expandSpec(sp SegmentSpec) []unit {
+func expandSpec(pipe string, sp SegmentSpec) []unit {
+	group := scopedName(pipe, sp.Name)
 	if sp.Replicas <= 1 {
-		return []unit{{name: sp.Name, group: sp.Name, typ: sp.Type}}
+		return []unit{{name: group, pipe: pipe, group: group, typ: sp.Type}}
 	}
 	us := make([]unit, 0, sp.Replicas+2)
-	us = append(us, unit{name: sp.Name + "/merge", group: sp.Name, role: RoleMerge})
+	us = append(us, unit{name: group + "/merge", pipe: pipe, group: group, role: RoleMerge})
 	for i := 1; i <= sp.Replicas; i++ {
 		us = append(us, unit{
-			name: fmt.Sprintf("%s/r%d", sp.Name, i), group: sp.Name,
+			name: fmt.Sprintf("%s/r%d", group, i), pipe: pipe, group: group,
 			typ: sp.Type, role: RoleReplica, idx: i,
 		})
 	}
-	return append(us, unit{name: sp.Name + "/split", group: sp.Name, role: RoleSplit})
+	return append(us, unit{name: group + "/split", pipe: pipe, group: group, role: RoleSplit})
 }
 
 // placement records where one unit currently runs; node and addr are
@@ -53,32 +70,48 @@ type placement struct {
 	epoch uint16   // splitter incarnation assigned
 }
 
-// state owns the coordinator's topology tables: the placement units
-// derived from the spec (immutable), and where each unit currently runs
-// (mutable). When opened over a directory it is durable: every mutation
-// is committed through a journaling hook (an append-only JSON log,
-// compacted into a snapshot every snapEvery entries), so a restarted
-// coordinator reloads the tables, bumps its epoch, and can reconcile
-// re-registering agents' live inventories against the reloaded desired
-// state instead of re-placing a data plane that never stopped flowing.
+// pipelineState is the per-pipeline half of the topology tables: the
+// spec, the placement units it expands into, and the pipeline's entry
+// address. The unit tables are immutable for a pipeline's lifetime — a
+// topology change is a pipeline remove + add.
+type pipelineState struct {
+	id          string
+	spec        PipelineSpec
+	units       []unit   // topology order (upstream spec last)
+	unitsBySpec [][]unit // grouped per spec segment
+	specIndex   map[string]int
+	entryAddr   string
+	// boot marks a pipeline declared in the coordinator's Config. Boot
+	// pipelines take their spec from the config on every start (the v4
+	// rule: the operator's flags are the intent, stale placements are
+	// pruned); only runtime-added pipelines are reloaded from the journal.
+	boot bool
+}
+
+// state owns the coordinator's topology tables: a registry of pipelines
+// keyed by ID, and where each pipeline's units currently run. Placement
+// is global — one table, one node pool — while topology (specs, entry
+// addresses, reconcile order) is per pipeline. When opened over a
+// directory the state is durable: every mutation, including runtime
+// pipeline adds and removes, is committed through a journaling hook (an
+// append-only JSON log, compacted into a snapshot every snapEvery
+// entries), so a restarted coordinator reloads the full pipeline set,
+// bumps its epoch, and can reconcile re-registering agents' live
+// inventories per pipeline instead of re-placing a data plane that never
+// stopped flowing.
 //
 // All mutable fields are guarded by the owning Coordinator's mu; state
-// methods must be called with it held. Journal I/O therefore happens
-// under the coordinator lock — writes are small appends to a buffered
-// file and are not fsynced per entry (the snapshot is synced), trading a
-// sliver of crash-durability for not stalling the control plane.
+// methods must be called with it held. Journal appends are buffered
+// writes flushed to the OS per entry; a background flusher fsyncs them
+// with a small group-commit interval (see startFlusher), so a hard crash
+// loses at most one flush interval of tail.
 type state struct {
-	// units is every placement unit in topology order (upstream spec
-	// last); unitsBySpec groups them per spec segment, specIndex maps a
-	// spec name to its chain position. All three are immutable.
-	units       []unit
-	unitsBySpec [][]unit
-	specIndex   map[string]int
+	pipelines map[string]*pipelineState
+	order     []string // sorted pipeline IDs, the deterministic walk order
 
-	epoch      uint64 // coordinator incarnation (1 fresh, +1 per reload)
-	placements map[string]*placement
-	epochs     map[string]uint16 // per-group splitter incarnations
-	entryAddr  string
+	epoch      uint64                // coordinator incarnation (1 fresh, +1 per reload)
+	placements map[string]*placement // keyed by scoped unit name
+	epochs     map[string]uint16     // per-group splitter incarnations (scoped)
 
 	dir       string   // "" = memory-only, no journaling
 	lock      *os.File // flock guarding the directory against a second coordinator
@@ -87,6 +120,16 @@ type state struct {
 	jEntries  int // journal entries since the last snapshot
 	snapEvery int
 	logf      func(format string, args ...any)
+
+	// Group-commit fsync machinery. jmu guards the journal handle and the
+	// dirty flag against the flusher goroutine (every other field is under
+	// the coordinator mu); flushDone stops the flusher.
+	jmu       sync.Mutex
+	jDirty    bool
+	fsync     bool
+	flushIvl  time.Duration
+	flushDone chan struct{}
+	flushWG   sync.WaitGroup
 }
 
 // persisted forms. The snapshot is the full table; journal entries are
@@ -101,19 +144,31 @@ type placementRecord struct {
 }
 
 type snapshotFile struct {
-	Epoch       uint64                     `json:"epoch"`
+	Epoch uint64 `json:"epoch"`
+	// Entry is the default pipeline's entry address — the v4 field, kept
+	// so a v4 snapshot loads and a single-pipeline snapshot stays
+	// readable by v4 tooling. Entries carries every pipeline's.
 	Entry       string                     `json:"entry,omitempty"`
+	Entries     map[string]string          `json:"entries,omitempty"`
+	Pipelines   []PipelineSpec             `json:"pipelines,omitempty"`
 	GroupEpochs map[string]uint16          `json:"group_epochs,omitempty"`
 	Placements  map[string]placementRecord `json:"placements"`
 }
 
 type journalEntry struct {
-	Op    string           `json:"op"` // "place", "entry", "gepoch"
+	Op    string           `json:"op"` // "place", "entry", "gepoch", "pipeadd", "piperm"
 	Unit  string           `json:"unit,omitempty"`
 	P     *placementRecord `json:"p,omitempty"`
 	Entry string           `json:"entry,omitempty"`
 	Group string           `json:"group,omitempty"`
 	Val   uint16           `json:"val,omitempty"`
+	// Pipe scopes an "entry" to a pipeline (absent = the default
+	// pipeline, which is what a v4 journal wrote) and names the pipeline
+	// a "pipeadd"/"piperm" creates or deletes.
+	Pipe string `json:"pipe,omitempty"`
+	// Spec is a "pipeadd"'s full pipeline spec, so a restarted
+	// coordinator reloads runtime-added pipelines with their topology.
+	Spec *PipelineSpec `json:"spec,omitempty"`
 }
 
 const (
@@ -121,32 +176,35 @@ const (
 	journalName        = "journal.jsonl"
 	defaultSnapEvery   = 256
 	journalBufferBytes = 32 << 10
+	defaultFlushIvl    = 2 * time.Millisecond
 )
 
-// newState builds the unit tables for the spec and, when dir is
-// non-empty, loads any prior snapshot+journal from it, prunes placements
-// that no longer correspond to a unit of the current spec, advances the
-// coordinator epoch, and re-opens the journal behind a fresh snapshot.
-// restored reports whether prior placements were recovered — the signal
-// for the coordinator to run its restart grace window.
-func newState(dir string, spec PipelineSpec, logf func(string, ...any)) (st *state, restored bool, err error) {
+// newState builds the pipeline registry for the boot set and, when dir is
+// non-empty, loads any prior snapshot+journal from it. The persisted
+// pipeline set wins on restore: runtime-added pipelines come back,
+// runtime-removed ones stay gone, and boot pipelines absent from the
+// persisted set are added fresh. Placements that no longer correspond to
+// a unit of any current pipeline are pruned, the coordinator epoch
+// advances, and the journal re-opens behind a fresh snapshot. restored
+// reports whether prior placements were recovered — the signal for the
+// coordinator to run its restart grace window.
+func newState(dir string, boot []PipelineSpec, fsync bool, flushIvl time.Duration, logf func(string, ...any)) (st *state, restored bool, err error) {
+	if flushIvl <= 0 {
+		flushIvl = defaultFlushIvl
+	}
 	st = &state{
-		specIndex:  make(map[string]int),
+		pipelines:  make(map[string]*pipelineState),
 		placements: make(map[string]*placement),
 		epochs:     make(map[string]uint16),
 		epoch:      1,
 		dir:        dir,
 		snapEvery:  defaultSnapEvery,
 		logf:       logf,
+		fsync:      fsync,
+		flushIvl:   flushIvl,
 	}
-	for i, sp := range spec.Segments {
-		us := expandSpec(sp)
-		st.unitsBySpec = append(st.unitsBySpec, us)
-		st.specIndex[sp.Name] = i
-		for _, u := range us {
-			st.units = append(st.units, u)
-			st.placements[u.name] = &placement{u: u}
-		}
+	for _, spec := range boot {
+		st.addPipeline(spec).boot = true
 	}
 	if dir == "" {
 		return st, false, nil
@@ -181,8 +239,70 @@ func newState(dir string, spec PipelineSpec, logf func(string, ...any)) (st *sta
 		st.close()
 		return nil, false, err
 	}
+	st.startFlusher()
 	return st, restored, nil
 }
+
+// insertPipeline expands a pipeline spec into the registry tables: units
+// derived, placements seeded, walk order re-sorted. It is the one place
+// the expansion lives, shared by runtime adds and journal replay so the
+// two paths can never diverge.
+func (s *state) insertPipeline(spec PipelineSpec) *pipelineState {
+	ps := &pipelineState{
+		id:        spec.ID,
+		spec:      spec,
+		specIndex: make(map[string]int),
+	}
+	for i, sp := range spec.Segments {
+		us := expandSpec(spec.ID, sp)
+		ps.unitsBySpec = append(ps.unitsBySpec, us)
+		ps.specIndex[scopedName(spec.ID, sp.Name)] = i
+		for _, u := range us {
+			ps.units = append(ps.units, u)
+			s.placements[u.name] = &placement{u: u}
+		}
+	}
+	s.pipelines[spec.ID] = ps
+	s.order = append(s.order, spec.ID)
+	sort.Strings(s.order)
+	return ps
+}
+
+// addPipeline expands a pipeline spec into the registry. The caller has
+// validated the spec and checked for a duplicate ID; mutations after boot
+// are journaled.
+func (s *state) addPipeline(spec PipelineSpec) *pipelineState {
+	ps := s.insertPipeline(spec)
+	s.append(journalEntry{Op: "pipeadd", Pipe: spec.ID, Spec: &spec})
+	return ps
+}
+
+// removePipeline deletes a pipeline and every table row it owns,
+// returning the units that were placed (the caller stops their
+// instances). The removal is journaled, so a restarted coordinator does
+// not resurrect it.
+func (s *state) removePipeline(id string) (placed []placement) {
+	ps := s.pipelines[id]
+	if ps == nil {
+		return nil
+	}
+	for _, u := range ps.units {
+		if p := s.placements[u.name]; p != nil && p.node != "" {
+			placed = append(placed, *p)
+		}
+		delete(s.placements, u.name)
+		delete(s.epochs, u.group)
+	}
+	delete(s.pipelines, id)
+	if i := slices.Index(s.order, id); i >= 0 {
+		s.order = slices.Delete(s.order, i, i+1)
+	}
+	s.append(journalEntry{Op: "piperm", Pipe: id})
+	return placed
+}
+
+// pipelineOf resolves a unit's owning pipeline tables.
+func (s *state) pipelineOf(u unit) *pipelineState { return s.pipelines[u.pipe] }
 
 // load reads the snapshot and replays the journal. It returns true when
 // prior state existed, even an empty table — the epoch must advance
@@ -200,7 +320,20 @@ func (s *state) load() (bool, error) {
 		if snap.Epoch > 0 {
 			s.epoch = snap.Epoch
 		}
-		s.entryAddr = snap.Entry
+		// Resurrect the runtime-added pipelines the snapshot recorded; the
+		// boot set's IDs stay as configured (the config is the operator's
+		// current intent for them). A v4 snapshot carries no pipeline
+		// list, which leaves the boot set — its single default pipeline —
+		// in charge, exactly as v4 behaved.
+		for _, spec := range snap.Pipelines {
+			s.replacePipeline(spec)
+		}
+		if snap.Entry != "" {
+			s.setEntryLoaded("", snap.Entry)
+		}
+		for id, addr := range snap.Entries {
+			s.setEntryLoaded(id, addr)
+		}
 		for g, e := range snap.GroupEpochs {
 			s.epochs[g] = e
 		}
@@ -236,9 +369,15 @@ func (s *state) load() (bool, error) {
 					s.applyRecord(e.Unit, *e.P)
 				}
 			case "entry":
-				s.entryAddr = e.Entry
+				s.setEntryLoaded(e.Pipe, e.Entry)
 			case "gepoch":
 				s.epochs[e.Group] = e.Val
+			case "pipeadd":
+				if e.Spec != nil {
+					s.replacePipeline(*e.Spec)
+				}
+			case "piperm":
+				s.removePipelineLoaded(e.Pipe)
 			}
 		}
 		if err := sc.Err(); err != nil {
@@ -251,8 +390,47 @@ func (s *state) load() (bool, error) {
 	return found, nil
 }
 
+// replacePipeline folds a persisted runtime-added pipeline into the
+// registry during load (no journaling — the journal is not open yet). A
+// boot pipeline's ID is never overridden: the config wins for the IDs it
+// declares.
+func (s *state) replacePipeline(spec PipelineSpec) {
+	if ps := s.pipelines[spec.ID]; ps != nil && ps.boot {
+		return
+	}
+	s.removePipelineLoaded(spec.ID)
+	s.insertPipeline(spec)
+}
+
+// removePipelineLoaded is removePipeline without journaling or placed-unit
+// collection, for journal replay. Boot pipelines are exempt — a piperm
+// journaled in a prior incarnation does not override the config
+// re-declaring the pipeline this incarnation.
+func (s *state) removePipelineLoaded(id string) {
+	ps := s.pipelines[id]
+	if ps == nil || ps.boot {
+		return
+	}
+	for _, u := range ps.units {
+		delete(s.placements, u.name)
+		delete(s.epochs, u.group)
+	}
+	delete(s.pipelines, id)
+	if i := slices.Index(s.order, id); i >= 0 {
+		s.order = slices.Delete(s.order, i, i+1)
+	}
+}
+
+// setEntryLoaded applies a persisted entry address during load, ignoring
+// pipelines the current set no longer defines.
+func (s *state) setEntryLoaded(pipe, addr string) {
+	if ps := s.pipelines[pipe]; ps != nil {
+		ps.entryAddr = addr
+	}
+}
+
 // applyRecord folds one persisted placement into the table, ignoring
-// units the current spec no longer defines (topology changed across the
+// units no current pipeline defines (topology changed across the
 // restart — the stale instances will be stopped when their host
 // re-registers them in its inventory).
 func (s *state) applyRecord(name string, pr placementRecord) {
@@ -290,14 +468,15 @@ func (s *state) clear(p *placement) {
 	s.commit(p)
 }
 
-// setEntry records the pipeline entry address, reporting whether it
+// setEntry records a pipeline's entry address, reporting whether it
 // changed; changes are journaled.
-func (s *state) setEntry(addr string) bool {
-	if s.entryAddr == addr {
+func (s *state) setEntry(pipe, addr string) bool {
+	ps := s.pipelines[pipe]
+	if ps == nil || ps.entryAddr == addr {
 		return false
 	}
-	s.entryAddr = addr
-	s.append(journalEntry{Op: "entry", Entry: addr})
+	ps.entryAddr = addr
+	s.append(journalEntry{Op: "entry", Entry: addr, Pipe: pipe})
 	return true
 }
 
@@ -334,20 +513,69 @@ func (s *state) append(e journalEntry) {
 		return
 	}
 	raw = append(raw, '\n')
+	s.jmu.Lock()
 	if _, err := s.jw.Write(raw); err != nil {
+		s.jmu.Unlock()
 		s.logf("state: journal write: %v", err)
 		return
 	}
 	if err := s.jw.Flush(); err != nil {
+		s.jmu.Unlock()
 		s.logf("state: journal flush: %v", err)
 		return
 	}
+	s.jDirty = true
+	s.jmu.Unlock()
 	s.jEntries++
 	if s.jEntries >= s.snapEvery {
 		if err := s.snapshot(); err != nil {
 			s.logf("state: %v", err)
 		}
 	}
+}
+
+// startFlusher runs the group-commit fsync loop: journal entries are
+// flushed to the OS per append (so a coordinator crash loses nothing) and
+// fsynced in batches every flushIvl (so a machine crash loses at most one
+// interval's tail) — closing the ROADMAP gap where only snapshots were
+// synced, without stalling the control plane on per-entry fsyncs.
+// Disabled (Config.JournalNoFsync) it degrades to v4 behavior: the OS
+// flushes on its own schedule and only snapshots are synced.
+func (s *state) startFlusher() {
+	if !s.fsync || s.journal == nil {
+		return
+	}
+	s.flushDone = make(chan struct{})
+	s.flushWG.Add(1)
+	go func() {
+		defer s.flushWG.Done()
+		t := time.NewTicker(s.flushIvl)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.flushDone:
+				return
+			case <-t.C:
+				s.syncJournal()
+			}
+		}
+	}()
+}
+
+// syncJournal fsyncs the journal if entries landed since the last sync.
+// The Sync runs outside jmu so appends are never blocked behind disk
+// latency; a snapshot swapping the journal file mid-sync at worst makes
+// the Sync fail on a closed fd, which is harmless — the snapshot itself
+// is synced before the swap.
+func (s *state) syncJournal() {
+	s.jmu.Lock()
+	f, dirty := s.journal, s.jDirty
+	s.jDirty = false
+	s.jmu.Unlock()
+	if !dirty || f == nil {
+		return
+	}
+	_ = f.Sync()
 }
 
 // snapshot atomically rewrites the full table and truncates the journal
@@ -359,9 +587,27 @@ func (s *state) snapshot() error {
 	}
 	snap := snapshotFile{
 		Epoch:       s.epoch,
-		Entry:       s.entryAddr,
 		GroupEpochs: make(map[string]uint16, len(s.epochs)),
 		Placements:  make(map[string]placementRecord, len(s.placements)),
+	}
+	for _, id := range s.order {
+		ps := s.pipelines[id]
+		if !ps.boot {
+			// Only runtime-added pipelines persist their spec; boot
+			// pipelines take theirs from the config on every start.
+			snap.Pipelines = append(snap.Pipelines, ps.spec)
+		}
+		if ps.entryAddr == "" {
+			continue
+		}
+		if id == "" {
+			snap.Entry = ps.entryAddr
+			continue
+		}
+		if snap.Entries == nil {
+			snap.Entries = make(map[string]string)
+		}
+		snap.Entries[id] = ps.entryAddr
 	}
 	for g, e := range s.epochs {
 		snap.GroupEpochs[g] = e
@@ -398,22 +644,31 @@ func (s *state) snapshot() error {
 		return fmt.Errorf("river: install state snapshot: %w", err)
 	}
 	// Reset the journal behind the snapshot.
-	if s.journal != nil {
-		_ = s.journal.Close()
-		s.journal, s.jw = nil, nil
-	}
 	jf, err := os.Create(filepath.Join(s.dir, journalName))
 	if err != nil {
 		return fmt.Errorf("river: reset state journal: %w", err)
 	}
+	s.jmu.Lock()
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
 	s.journal = jf
 	s.jw = bufio.NewWriterSize(jf, journalBufferBytes)
+	s.jDirty = false
+	s.jmu.Unlock()
 	s.jEntries = 0
 	return nil
 }
 
-// close flushes and closes the journal and releases the directory lock.
+// close stops the flusher, flushes and closes the journal and releases
+// the directory lock.
 func (s *state) close() {
+	if s.flushDone != nil {
+		close(s.flushDone)
+		s.flushWG.Wait()
+		s.flushDone = nil
+	}
+	s.jmu.Lock()
 	if s.jw != nil {
 		_ = s.jw.Flush()
 	}
@@ -422,6 +677,7 @@ func (s *state) close() {
 		_ = s.journal.Close()
 		s.journal, s.jw = nil, nil
 	}
+	s.jmu.Unlock()
 	if s.lock != nil {
 		_ = syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
 		_ = s.lock.Close()
@@ -430,15 +686,18 @@ func (s *state) close() {
 }
 
 // adopt reconciles a (re-)registering agent's hosted-unit inventory
-// against the desired state: units the tables expect on this node (or
-// that are currently unplaced and match their unit's identity) are
-// adopted as-is — the live instance keeps running untouched, its
-// last-told downstream/legs recorded for the reconcile loop to converge
-// from — and everything else is returned for the agent to stop. Units
-// the tables place on this node but absent from the inventory died with
-// the agent process and are freed for re-placement. Pre-v4 agents report
-// no inventory, which is accurate (they stop their units when a control
-// session ends), so everything recorded against them is freed.
+// against the desired state, pipeline by pipeline: units the tables
+// expect on this node (or that are currently unplaced and match their
+// unit's identity) are adopted as-is — the live instance keeps running
+// untouched, its last-told downstream/legs recorded for the reconcile
+// loop to converge from — and everything else is returned for the agent
+// to stop. Inventory names are the scoped unit names the coordinator
+// assigned, so an agent hosting units of several pipelines has each
+// matched against its own pipeline's tables. Units the tables place on
+// this node but absent from the inventory died with the agent process
+// and are freed for re-placement. Pre-v4 agents report no inventory,
+// which is accurate (they stop their units when a control session ends),
+// so everything recorded against them is freed.
 func (s *state) adopt(node string, inv []UnitInventory) (adopted, stops []string) {
 	seen := make(map[string]bool, len(inv))
 	for _, iu := range inv {
@@ -493,8 +752,8 @@ func (s *state) adopt(node string, inv []UnitInventory) (adopted, stops []string
 			stops = append(stops, iu.Name)
 		}
 	}
-	for _, u := range s.units {
-		if p := s.placements[u.name]; p.node == node && !seen[u.name] {
+	for name, p := range s.placements {
+		if p.node == node && !seen[name] {
 			s.clear(p)
 		}
 	}

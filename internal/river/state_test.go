@@ -5,7 +5,15 @@ import (
 	"path/filepath"
 	"slices"
 	"testing"
+	"time"
 )
+
+// newStateSingle opens a state over a single-pipeline boot set with the
+// group-commit fsync enabled at a short interval, the way most existing
+// tests exercised the v4 single-pipeline state.
+func newStateSingle(dir string, spec PipelineSpec, logf func(string, ...any)) (*state, bool, error) {
+	return newState(dir, []PipelineSpec{spec}, true, time.Millisecond, logf)
+}
 
 func testSpec() PipelineSpec {
 	return PipelineSpec{
@@ -23,7 +31,7 @@ func testSpec() PipelineSpec {
 func TestStateJournalReload(t *testing.T) {
 	dir := t.TempDir()
 	logf := t.Logf
-	st, restored, err := newState(dir, testSpec(), logf)
+	st, restored, err := newStateSingle(dir, testSpec(), logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,15 +50,15 @@ func TestStateJournalReload(t *testing.T) {
 	sp.legs = []string{"127.0.0.1:19003", "127.0.0.1:19004"}
 	sp.epoch = st.bumpGroupEpoch("rep")
 	st.commit(sp)
-	if !st.setEntry("127.0.0.1:19002") {
+	if !st.setEntry("", "127.0.0.1:19002") {
 		t.Fatal("setEntry reported no change")
 	}
-	if st.setEntry("127.0.0.1:19002") {
+	if st.setEntry("", "127.0.0.1:19002") {
 		t.Fatal("unchanged entry reported a change")
 	}
 	st.close()
 
-	st2, restored, err := newState(dir, testSpec(), logf)
+	st2, restored, err := newStateSingle(dir, testSpec(), logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,8 +79,8 @@ func TestStateJournalReload(t *testing.T) {
 	if st2.epochs["rep"] != 1 {
 		t.Fatalf("group epoch lost: %v", st2.epochs)
 	}
-	if st2.entryAddr != "127.0.0.1:19002" {
-		t.Fatalf("entry lost: %q", st2.entryAddr)
+	if st2.pipelines[""].entryAddr != "127.0.0.1:19002" {
+		t.Fatalf("entry lost: %q", st2.pipelines[""].entryAddr)
 	}
 	if !st2.hasPlacements() {
 		t.Fatal("hasPlacements false after reload")
@@ -81,7 +89,7 @@ func TestStateJournalReload(t *testing.T) {
 
 	// A third incarnation advances the epoch again even though nothing
 	// was mutated in the second.
-	st3, _, err := newState(dir, testSpec(), logf)
+	st3, _, err := newStateSingle(dir, testSpec(), logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,15 +104,15 @@ func TestStateJournalReload(t *testing.T) {
 // other. Closing the first releases the lock for a proper successor.
 func TestStateDirLocked(t *testing.T) {
 	dir := t.TempDir()
-	st, _, err := newState(dir, testSpec(), t.Logf)
+	st, _, err := newStateSingle(dir, testSpec(), t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := newState(dir, testSpec(), t.Logf); err == nil {
+	if _, _, err := newStateSingle(dir, testSpec(), t.Logf); err == nil {
 		t.Fatal("second coordinator over a live state dir accepted")
 	}
 	st.close()
-	st2, _, err := newState(dir, testSpec(), t.Logf)
+	st2, _, err := newStateSingle(dir, testSpec(), t.Logf)
 	if err != nil {
 		t.Fatalf("lock not released by close: %v", err)
 	}
@@ -117,7 +125,7 @@ func TestStateDirLocked(t *testing.T) {
 // the snapshots rather than growing without bound.
 func TestStateSnapshotCompaction(t *testing.T) {
 	dir := t.TempDir()
-	st, _, err := newState(dir, testSpec(), t.Logf)
+	st, _, err := newStateSingle(dir, testSpec(), t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +135,7 @@ func TestStateSnapshotCompaction(t *testing.T) {
 		p.node, p.addr = "node-a", "127.0.0.1:19001"
 		st.commit(p)
 	}
-	st.setEntry("127.0.0.1:19002")
+	st.setEntry("", "127.0.0.1:19002")
 	st.close()
 
 	if fi, err := os.Stat(filepath.Join(dir, journalName)); err != nil {
@@ -135,12 +143,12 @@ func TestStateSnapshotCompaction(t *testing.T) {
 	} else if fi.Size() > 4096 {
 		t.Fatalf("journal grew to %d bytes despite compaction", fi.Size())
 	}
-	st2, restored, err := newState(dir, testSpec(), t.Logf)
+	st2, restored, err := newStateSingle(dir, testSpec(), t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !restored || st2.placements["tail"].node != "node-a" || st2.entryAddr != "127.0.0.1:19002" {
-		t.Fatalf("compacted state lost: restored=%v %+v entry=%q", restored, st2.placements["tail"], st2.entryAddr)
+	if !restored || st2.placements["tail"].node != "node-a" || st2.pipelines[""].entryAddr != "127.0.0.1:19002" {
+		t.Fatalf("compacted state lost: restored=%v %+v entry=%q", restored, st2.placements["tail"], st2.pipelines[""].entryAddr)
 	}
 	st2.close()
 }
@@ -149,7 +157,7 @@ func TestStateSnapshotCompaction(t *testing.T) {
 // final journal line must be dropped while everything before it replays.
 func TestStateTornJournalTail(t *testing.T) {
 	dir := t.TempDir()
-	st, _, err := newState(dir, testSpec(), t.Logf)
+	st, _, err := newStateSingle(dir, testSpec(), t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,15 +175,15 @@ func TestStateTornJournalTail(t *testing.T) {
 	}
 	_ = jf.Close()
 
-	st2, restored, err := newState(dir, testSpec(), t.Logf)
+	st2, restored, err := newStateSingle(dir, testSpec(), t.Logf)
 	if err != nil {
 		t.Fatalf("torn tail must not fail the load: %v", err)
 	}
 	if !restored || st2.placements["tail"].node != "node-a" {
 		t.Fatalf("entries before the torn tail lost: %+v", st2.placements["tail"])
 	}
-	if st2.entryAddr != "" {
-		t.Fatalf("torn entry applied: %q", st2.entryAddr)
+	if st2.pipelines[""].entryAddr != "" {
+		t.Fatalf("torn entry applied: %q", st2.pipelines[""].entryAddr)
 	}
 	st2.close()
 }
@@ -185,7 +193,7 @@ func TestStateTornJournalTail(t *testing.T) {
 // be dropped instead of poisoning the tables.
 func TestStateSpecChangePrunes(t *testing.T) {
 	dir := t.TempDir()
-	st, _, err := newState(dir, testSpec(), t.Logf)
+	st, _, err := newStateSingle(dir, testSpec(), t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +206,7 @@ func TestStateSpecChangePrunes(t *testing.T) {
 		Segments: []SegmentSpec{{Name: "rep", Type: "relay", Replicas: 2}},
 		SinkAddr: "127.0.0.1:9",
 	}
-	st2, _, err := newState(dir, shrunk, t.Logf)
+	st2, _, err := newStateSingle(dir, shrunk, t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +220,7 @@ func TestStateSpecChangePrunes(t *testing.T) {
 // place, adopt back an unplaced survivor, stop orphans and failed units,
 // and free units missing from the inventory.
 func TestStateAdopt(t *testing.T) {
-	st, _, err := newState("", testSpec(), t.Logf)
+	st, _, err := newStateSingle("", testSpec(), t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,5 +289,104 @@ func TestStateAdopt(t *testing.T) {
 	}
 	if st.bumpGroupEpoch("rep") != 8 {
 		t.Fatalf("group epoch floor not raised past the adopted splitter's 7")
+	}
+}
+
+// TestStateV4SnapshotLoads opens a state over a hand-written v4-format
+// snapshot — no pipeline list, bare unit names, the legacy entry field —
+// and requires it to load into the default pipeline unchanged: the
+// journal format is a superset, so a durable v4 coordinator upgrades in
+// place.
+func TestStateV4SnapshotLoads(t *testing.T) {
+	dir := t.TempDir()
+	v4 := `{
+  "epoch": 3,
+  "entry": "127.0.0.1:19002",
+  "group_epochs": {"rep": 2},
+  "placements": {
+    "tail": {"node": "node-a", "addr": "127.0.0.1:19001", "down": "127.0.0.1:9"},
+    "rep/split": {"node": "node-b", "addr": "127.0.0.1:19002", "legs": ["127.0.0.1:19003"], "epoch": 2}
+  }
+}`
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte(v4), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, restored, err := newStateSingle(dir, testSpec(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	if !restored || st.epoch != 4 {
+		t.Fatalf("v4 snapshot not restored: restored=%v epoch=%d", restored, st.epoch)
+	}
+	if p := st.placements["tail"]; p.node != "node-a" || p.down != "127.0.0.1:9" {
+		t.Fatalf("v4 placement lost: %+v", p)
+	}
+	if sp := st.placements["rep/split"]; sp.epoch != 2 || !slices.Equal(sp.legs, []string{"127.0.0.1:19003"}) {
+		t.Fatalf("v4 splitter placement lost: %+v", sp)
+	}
+	if st.pipelines[""].entryAddr != "127.0.0.1:19002" {
+		t.Fatalf("v4 entry lost: %q", st.pipelines[""].entryAddr)
+	}
+	if st.epochs["rep"] != 2 {
+		t.Fatalf("v4 group epoch lost: %v", st.epochs)
+	}
+}
+
+// TestStateRuntimePipelinesReload proves the pipeline registry's
+// durability: runtime-added pipelines (and their placements) come back
+// after a reload, runtime removals stick, and boot pipelines always take
+// their spec from the config.
+func TestStateRuntimePipelinesReload(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := newStateSingle(dir, testSpec(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := PipelineSpec{
+		ID:       "px",
+		Segments: []SegmentSpec{{Name: "seg", Type: "relay"}},
+		SinkAddr: "127.0.0.1:11",
+	}
+	st.addPipeline(added)
+	p := st.placements["px:seg"]
+	p.node, p.addr, p.down = "node-a", "127.0.0.1:19001", "127.0.0.1:11"
+	st.commit(p)
+	if !st.setEntry("px", "127.0.0.1:19001") {
+		t.Fatal("px entry not set")
+	}
+	st.close()
+
+	st2, restored, err := newStateSingle(dir, testSpec(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored || !slices.Equal(st2.order, []string{"", "px"}) {
+		t.Fatalf("runtime-added pipeline lost: restored=%v order=%v", restored, st2.order)
+	}
+	if st2.pipelines["px"].spec.SinkAddr != "127.0.0.1:11" {
+		t.Fatalf("px spec lost: %+v", st2.pipelines["px"].spec)
+	}
+	if p2 := st2.placements["px:seg"]; p2 == nil || p2.node != "node-a" {
+		t.Fatalf("px placement lost: %+v", p2)
+	}
+	if st2.pipelines["px"].entryAddr != "127.0.0.1:19001" {
+		t.Fatalf("px entry lost: %q", st2.pipelines["px"].entryAddr)
+	}
+	if placed := st2.removePipeline("px"); len(placed) != 1 || placed[0].u.name != "px:seg" {
+		t.Fatalf("removePipeline returned %+v", placed)
+	}
+	st2.close()
+
+	st3, _, err := newStateSingle(dir, testSpec(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.close()
+	if !slices.Equal(st3.order, []string{""}) {
+		t.Fatalf("removed pipeline resurrected: %v", st3.order)
+	}
+	if _, ok := st3.placements["px:seg"]; ok {
+		t.Fatal("removed pipeline's placement survived")
 	}
 }
