@@ -59,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/pipeline"
 	"repro/internal/record"
@@ -85,6 +86,8 @@ func main() {
 		err = runNode(os.Args[2:])
 	case "status":
 		err = runStatus(os.Args[2:])
+	case "events":
+		err = runEvents(os.Args[2:])
 	case "drain":
 		err = runDrain(os.Args[2:])
 	case "pipeline":
@@ -107,8 +110,11 @@ func usage() {
   dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-pipelines N | -spec-file FILE]
                  [-replicas N] [-heartbeat D] [-timeout D] [-placer POLICY]
                  [-state DIR] [-grace D] [-disconnect-grace D] [-fsync=BOOL]
+                 [-metrics-addr ADDR] [-monitor=BOOL]
   dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N] [-retry N] [-retry-max D]
+                [-metrics-addr ADDR]
   dynriver status -coord HOST:PORT [-json] [-pipeline ID]
+  dynriver events -coord HOST:PORT [-pipeline ID] [-follow] [-json] [-since SEQ]
   dynriver drain -coord HOST:PORT -seg UNIT [-pipeline ID]
   dynriver pipeline add -coord HOST:PORT -id ID -sink HOST:PORT [-segments TYPES] [-replicas N]
   dynriver pipeline rm -coord HOST:PORT -id ID
@@ -119,7 +125,8 @@ segments syntax: TYPE, NAME=TYPE, with an optional :N replica suffix
 -pipelines N runs N copies of the -segments chain as pipelines p1..pN
 (each needs its own station; all share the node pool); -spec-file names
 a JSON file holding an array of pipeline specs ({"id","segments":[{"name",
-"type","replicas"}],"sink_addr"}) for heterogeneous fleets`)
+"type","replicas"}],"sink_addr"}) for heterogeneous fleets
+-metrics-addr serves Prometheus /metrics and /debug/pprof on ADDR`)
 }
 
 // builtinRegistry exposes the acoustic pipeline's segment types to both
@@ -375,6 +382,8 @@ func runCoord(args []string) error {
 	grace := fs.Duration("grace", 0, "restart grace window for agents to re-register and be adopted (default 5s; needs -state)")
 	disconnectGrace := fs.Duration("disconnect-grace", 0, "hold a disconnected node's units this long for reconnect-and-adopt before re-placing (0 = fail over immediately)")
 	fsync := fs.Bool("fsync", true, "group-commit fsync of journal entries (disable to trade a machine-crash durability window for zero fsync traffic)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
+	monitor := fs.Bool("monitor", true, "run the self-monitoring anomaly detectors over node telemetry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -422,6 +431,8 @@ func runCoord(args []string) error {
 		RestartGrace:      *grace,
 		DisconnectGrace:   *disconnectGrace,
 		JournalNoFsync:    !*fsync,
+		MetricsAddr:       *metricsAddr,
+		Monitor:           river.MonitorConfig{Disabled: !*monitor},
 		Logf:              func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
 	})
 	if err != nil {
@@ -436,6 +447,9 @@ func runCoord(args []string) error {
 	}
 	fmt.Printf("coordinator listening on %s as epoch %d (%d pipeline(s), placer %s%s)\n",
 		coord.Addr(), coord.Epoch(), len(specs), *placerName, durable)
+	if ma := coord.MetricsAddr(); ma != "" {
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof)\n", ma)
+	}
 	<-interruptContext().Done()
 	return coord.Close()
 }
@@ -501,6 +515,7 @@ func runNode(args []string) error {
 	queue := fs.Int("queue", pipeline.DefaultQueueSize, "hosted streamin emit-queue bound (0 = direct emit)")
 	retries := fs.Int("retry", 0, "consecutive failed connection attempts before giving up (0 = retry forever)")
 	retryMax := fs.Duration("retry-max", 2*time.Second, "cap on the jittered reconnect backoff")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -509,6 +524,7 @@ func runNode(args []string) error {
 	}
 	agent := river.NewAgent(*name, *coordAddr, builtinRegistry())
 	agent.ListenHost = *host
+	agent.MetricsAddr = *metricsAddr
 	agent.Node().FlushPolicy = flushPolicy(*batch)
 	agent.Node().QueueSize = *queue
 	agent.ReconnectMax = *retryMax
@@ -577,8 +593,15 @@ func runStatus(args []string) error {
 					state += " (" + s.Err + ")"
 				}
 			}
-			fmt.Printf("    %-14s %-10s at %-21s processed=%d emitted=%d lag=%d queue=%d/%d conns=%d repairs=%d%s\n",
-				s.Name, "("+s.Type+")", s.Addr, s.Processed, s.Emitted, s.LagValue(), s.QueueDepth, s.QueueCap, s.Conns, s.BadCloses, state)
+			// Pre-v2 agents carry no flow telemetry: their counters decode as
+			// zero, which is "no data", not "idle" — print "?" so operators
+			// don't mistake an old agent's silence for an empty queue.
+			lag, queue := fmt.Sprintf("%d", s.LagValue()), fmt.Sprintf("%d/%d", s.QueueDepth, s.QueueCap)
+			if proto < 2 {
+				lag, queue = "?", "?/?"
+			}
+			fmt.Printf("    %-14s %-10s at %-21s processed=%d emitted=%d lag=%s queue=%s conns=%d repairs=%d%s\n",
+				s.Name, "("+s.Type+")", s.Addr, s.Processed, s.Emitted, lag, queue, s.Conns, s.BadCloses, state)
 			fmt.Printf("    %-14s %-10s out: records=%d batches=%d bytes=%d\n",
 				"", "", s.RecordsOut, s.BatchesOut, s.BytesOut)
 			switch s.Role {
@@ -619,6 +642,70 @@ func runStatus(args []string) error {
 	fmt.Printf("placements (%d):\n", len(st.Placements))
 	printPlacements(st.Placements)
 	return nil
+}
+
+// runEvents prints a coordinator's control-plane event stream (protocol
+// v6): the retained backlog, and with -follow every subsequent event as
+// it happens — place, failover, drain, anomaly — until interrupted.
+// -json emits one JSON event per line for scripts; the schema is the
+// obs.Event wire format.
+func runEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	coordAddr := fs.String("coord", "", "coordinator address (required)")
+	pipeID := fs.String("pipeline", "", "only this pipeline's events, plus cluster-wide ones (register, failover, anomaly)")
+	follow := fs.Bool("follow", false, "stream live events after the backlog until interrupted")
+	asJSON := fs.Bool("json", false, "one JSON event per line instead of the report")
+	since := fs.Uint64("since", 0, "only events with sequence numbers greater than this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordAddr == "" {
+		return fmt.Errorf("events: -coord is required")
+	}
+	printEvent := func(e obs.Event) {
+		if *asJSON {
+			raw, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			fmt.Println(string(raw))
+			return
+		}
+		var parts []string
+		if e.Pipeline != "" {
+			parts = append(parts, "pipeline="+e.Pipeline)
+		}
+		if e.Unit != "" {
+			parts = append(parts, "unit="+e.Unit)
+		}
+		if e.Node != "" {
+			parts = append(parts, "node="+e.Node)
+		}
+		if e.Addr != "" {
+			parts = append(parts, "addr="+e.Addr)
+		}
+		if e.Metric != "" {
+			parts = append(parts, fmt.Sprintf("%s=%g z=%.1f", e.Metric, e.Value, e.Score))
+		} else if e.Value != 0 {
+			parts = append(parts, fmt.Sprintf("value=%g", e.Value))
+		}
+		if e.Detail != "" {
+			parts = append(parts, "("+e.Detail+")")
+		}
+		fmt.Printf("%6d %s %-12s %s\n", e.Seq,
+			time.UnixMilli(e.TimeMS).Format("15:04:05.000"), e.Type, strings.Join(parts, " "))
+	}
+	if !*follow {
+		events, err := river.FetchEvents(*coordAddr, *pipeID, *since, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		for _, e := range events {
+			printEvent(e)
+		}
+		return nil
+	}
+	return river.WatchEvents(interruptContext(), *coordAddr, *pipeID, *since, printEvent)
 }
 
 // runDrain asks the coordinator for a planned zero-repair move of one

@@ -4,6 +4,13 @@
 // same trigger/cutter operators slice the anomalous region out as an
 // ensemble — showing the paper's claim that the process generalizes
 // beyond acoustics.
+//
+// This is the offline half of the story. The same detector family
+// (timeseries.StreamingZScore / ZScoreSet) also runs online inside the
+// coordinator, scoring each node's queue depth, lag growth and
+// heartbeat age; the resulting flags surface as "anomaly" events in
+// `dynriver events` (node, metric, value, z-score) — see
+// examples/observability for that loop end-to-end.
 package main
 
 import (

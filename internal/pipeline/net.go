@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/record"
@@ -516,6 +517,7 @@ type StreamIn struct {
 	conns uint64              // accepted connections
 	bad   uint64              // BadCloseScope records synthesized
 	queue chan *record.Record // live emit queue while Run uses one
+	peak  atomic.Int64        // high-water mark of the emit queue
 
 	// MaxConns, when positive, stops the source cleanly after that many
 	// upstream connections have been served (used by finite pipelines and
@@ -582,6 +584,14 @@ func (s *StreamIn) QueueDepth() (depth, capacity int) {
 	return len(s.queue), cap(s.queue)
 }
 
+// QueuePeak returns the high-water mark the emit queue has reached since
+// the source started — the observability counterpart of QueueDepth's
+// instantaneous reading, surfaced in heartbeats so a transient backlog is
+// visible even when every snapshot happens to catch the queue drained.
+func (s *StreamIn) QueuePeak() int {
+	return int(s.peak.Load())
+}
+
 // Close stops the source: the listener closes and Run returns after the
 // current connection drains.
 func (s *StreamIn) Close() error {
@@ -629,6 +639,16 @@ func (s *StreamIn) Run(out Emitter) error {
 			}
 			select {
 			case q <- r:
+				// CAS-max the high-water mark; len(q) right after a
+				// successful enqueue includes this record.
+				if d := int64(len(q)); d > s.peak.Load() {
+					for {
+						old := s.peak.Load()
+						if d <= old || s.peak.CompareAndSwap(old, d) {
+							break
+						}
+					}
+				}
 				return nil
 			case <-drainDead:
 				return drainErr

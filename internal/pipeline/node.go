@@ -102,7 +102,8 @@ type (
 		Connections() uint64
 		BadCloses() uint64
 	}
-	queueStats  interface{ QueueDepth() (int, int) }
+	queueStats     interface{ QueueDepth() (int, int) }
+	queuePeakStats interface{ QueuePeak() int }
 	egressStats interface {
 		RecordsOut() uint64
 		BatchesOut() uint64
@@ -258,8 +259,12 @@ type SegmentStats struct {
 	Lag uint64
 	// QueueDepth/QueueCap expose the streamin emit-queue backlog and its
 	// bound; depth near cap means the operator chain is saturated.
+	// QueuePeak is the backlog's high-water mark since the instance
+	// started — it catches transient saturation the instantaneous depth
+	// snapshot misses.
 	QueueDepth int
 	QueueCap   int
+	QueuePeak  int
 	// RecordsOut/BatchesOut/BytesOut count what the segment's streamout
 	// has flushed to the wire.
 	RecordsOut uint64
@@ -310,6 +315,9 @@ func (n *Node) Stats() []SegmentStats {
 		}
 		if qs, ok := h.src.(queueStats); ok {
 			s.QueueDepth, s.QueueCap = qs.QueueDepth()
+		}
+		if qp, ok := h.src.(queuePeakStats); ok {
+			s.QueuePeak = qp.QueuePeak()
 		}
 		if es, ok := h.sink.(egressStats); ok {
 			s.RecordsOut = es.RecordsOut()

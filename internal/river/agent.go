@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replica"
 )
@@ -53,6 +54,11 @@ type Agent struct {
 	// counter resets every time a session registers successfully.
 	// Default 60; <0 retries forever.
 	DialAttempts int
+	// MetricsAddr, when set, serves the node's observability endpoint
+	// there for the lifetime of Run: Prometheus-text /metrics with
+	// per-segment gauges from the same counters heartbeats carry, plus
+	// net/http/pprof for live profiling. Empty disables it.
+	MetricsAddr string
 	// Logf, when set, receives agent event logs.
 	Logf func(format string, args ...any)
 
@@ -103,6 +109,16 @@ func (a *Agent) Node() *pipeline.Node { return a.node }
 // up after DialAttempts consecutive failed session attempts.
 func (a *Agent) Run(ctx context.Context) error {
 	defer func() { _ = a.node.StopAll() }()
+	if a.MetricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.OnGather(func() { a.fillMetrics(reg) })
+		bound, stop, err := obs.Serve(a.MetricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("river: agent %s: %w", a.name, err)
+		}
+		defer func() { _ = stop() }()
+		a.logf("observability endpoint on http://%s/metrics", bound)
+	}
 	min := a.ReconnectMin
 	if min <= 0 {
 		min = 100 * time.Millisecond
@@ -450,6 +466,7 @@ func (a *Agent) segmentStats() []SegmentStatus {
 			BadCloses:  s.BadCloses,
 			QueueDepth: s.QueueDepth,
 			QueueCap:   s.QueueCap,
+			QueuePeak:  s.QueuePeak,
 			RecordsOut: s.RecordsOut,
 			BatchesOut: s.BatchesOut,
 			BytesOut:   s.BytesOut,
@@ -464,6 +481,27 @@ func (a *Agent) segmentStats() []SegmentStatus {
 		}
 	}
 	return out
+}
+
+// fillMetrics recomputes the agent's per-segment gauges from a live
+// stats snapshot at scrape time — the node-local view of the same
+// counters heartbeats ship to the coordinator.
+func (a *Agent) fillMetrics(reg *obs.Registry) {
+	stats := a.node.Stats()
+	reg.DropPrefix("dynriver_agent_segment_")
+	reg.Gauge("dynriver_agent_segments", "node", a.name).Set(float64(len(stats)))
+	for _, s := range stats {
+		l := []string{"node", a.name, "segment", s.Name}
+		reg.Gauge("dynriver_agent_segment_processed", l...).Set(float64(s.Processed))
+		reg.Gauge("dynriver_agent_segment_emitted", l...).Set(float64(s.Emitted))
+		reg.Gauge("dynriver_agent_segment_queue_depth", l...).Set(float64(s.QueueDepth))
+		reg.Gauge("dynriver_agent_segment_queue_cap", l...).Set(float64(s.QueueCap))
+		reg.Gauge("dynriver_agent_segment_queue_peak", l...).Set(float64(s.QueuePeak))
+		reg.Gauge("dynriver_agent_segment_lag", l...).Set(float64(s.Lag))
+		reg.Gauge("dynriver_agent_segment_records_out", l...).Set(float64(s.RecordsOut))
+		reg.Gauge("dynriver_agent_segment_leg_drops", l...).Set(float64(s.LegDrops))
+		reg.Gauge("dynriver_agent_segment_gap_skips", l...).Set(float64(s.Skipped))
+	}
 }
 
 func (a *Agent) logf(format string, args ...any) {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FetchStatus opens a short client session against a coordinator and
@@ -87,6 +89,87 @@ func clientRequest(coordAddr string, msg *Message, timeout, fallback time.Durati
 		return nil, errors.New(reply.Err)
 	}
 	return reply, nil
+}
+
+// FetchEvents opens a short client session and returns the coordinator's
+// retained control-plane events with Seq > sinceSeq (protocol v6),
+// optionally filtered to one pipeline ("" = all). The coordinator's ring
+// bounds how far back sinceSeq can reach; events older than the ring are
+// simply absent.
+func FetchEvents(coordAddr, pipelineID string, sinceSeq uint64, timeout time.Duration) ([]obs.Event, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", coordAddr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("river: events: dial %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	w := newWire(conn)
+	if err := w.send(&Message{Type: TypeWatchEvents, Pipeline: pipelineID, SinceSeq: sinceSeq}); err != nil {
+		return nil, err
+	}
+	var out []obs.Event
+	for {
+		msg, err := w.recv()
+		if err != nil {
+			return nil, fmt.Errorf("river: events: %w", err)
+		}
+		switch msg.Type {
+		case TypeEvent:
+			out = append(out, msg.Events...)
+		case TypeAck:
+			if msg.Err != "" {
+				return nil, errors.New(msg.Err)
+			}
+			return out, nil
+		}
+	}
+}
+
+// WatchEvents follows a coordinator's control-plane event stream
+// (protocol v6): fn receives the retained backlog with Seq > sinceSeq,
+// then every subsequent event as it happens, until ctx is cancelled
+// (returns nil) or the connection drops (returns the error). pipelineID
+// filters to one pipeline's events plus the cluster-wide ones (register,
+// failover, anomaly); "" follows everything.
+func WatchEvents(ctx context.Context, coordAddr, pipelineID string, sinceSeq uint64, fn func(obs.Event)) error {
+	conn, err := (&net.Dialer{Timeout: 5 * time.Second}).DialContext(ctx, "tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("river: events: dial %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
+	w := newWire(conn)
+	if err := w.send(&Message{Type: TypeWatchEvents, Pipeline: pipelineID, SinceSeq: sinceSeq, Follow: true}); err != nil {
+		return err
+	}
+	for {
+		msg, err := w.recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("river: events: %w", err)
+		}
+		switch {
+		case msg.Type == TypeEvent:
+			for _, e := range msg.Events {
+				fn(e)
+			}
+		case msg.Type == TypeAck && msg.Err != "":
+			return fmt.Errorf("river: events: %s", msg.Err)
+		}
+	}
 }
 
 // WatchEntry subscribes to a coordinator's default-pipeline entry

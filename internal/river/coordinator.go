@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SegmentSpec names one segment of a desired pipeline and the registry
@@ -144,6 +146,19 @@ type Config struct {
 	// 2ms), bounding what a hard machine crash can lose without paying a
 	// per-entry fsync on the control path.
 	JournalFsyncInterval time.Duration
+	// MetricsAddr, when set, serves the observability endpoint there:
+	// Prometheus-text /metrics (per-node and per-pipeline gauges from
+	// heartbeat aggregation plus coordinator internals) and net/http/pprof.
+	// Empty disables the endpoint; the in-process registry and event log
+	// run either way.
+	MetricsAddr string
+	// EventBuffer sizes the control-plane event ring (default
+	// obs.DefaultEventCapacity). The ring bounds how much backlog a late
+	// watch_events subscriber can fetch.
+	EventBuffer int
+	// Monitor parameterizes the self-monitoring anomaly detector loop;
+	// the zero value enables it with defaults (see MonitorConfig).
+	Monitor MonitorConfig
 	// Logf, when set, receives control-plane event logs.
 	Logf func(format string, args ...any)
 }
@@ -183,10 +198,23 @@ type member struct {
 	proto    int // protocol version announced at register (0/absent = v1)
 	lastBeat time.Time
 	stats    []SegmentStatus
+	// marks tracks per-unit loss-counter baselines (keyed by unit name)
+	// so heartbeat deltas become leg_drop / gap_skip events.
+	marks map[string]counterMark
 	// pending maps request IDs to reply channels; nil once the member is
 	// dead (its channels are closed to fail in-flight RPCs).
 	pending map[uint64]chan *Message
 	gone    bool
+}
+
+// counterMark is the last observed value of one unit's loss counters,
+// with the instance address that reported them: a new address means a new
+// instance whose counters restart, so the baseline resets without an
+// event.
+type counterMark struct {
+	addr     string
+	legDrops uint64
+	skipped  uint64
 }
 
 // Coordinator owns a registry of desired pipeline topologies and drives
@@ -230,6 +258,18 @@ type Coordinator struct {
 	// race a re-assign of the same segment name and kill the fresh
 	// replacement.
 	pendingStops []stopReq
+	// evWatchers counts live watch_events followers (for the watch
+	// fan-out gauge).
+	evWatchers int
+
+	// Observability (see observe.go / monitor.go). reg and events are
+	// always live; the HTTP endpoint and its stop hook exist only when
+	// Config.MetricsAddr is set.
+	reg         *obs.Registry
+	events      *obs.EventLog
+	recDur      *obs.Histogram
+	metricsAddr string
+	metricsStop func() error
 }
 
 // stopReq names a segment instance to stop on a node.
@@ -294,6 +334,18 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		watchers:     make(map[*wire]string),
 		conns:        make(map[net.Conn]struct{}),
 	}
+	c.setupObs()
+	if cfg.MetricsAddr != "" {
+		bound, stop, err := obs.Serve(cfg.MetricsAddr, c.reg)
+		if err != nil {
+			cancel()
+			_ = ln.Close()
+			st.close()
+			return nil, err
+		}
+		c.metricsAddr, c.metricsStop = bound, stop
+		logf("observability endpoint on http://%s/metrics", bound)
+	}
 	if restored && st.hasPlacements() {
 		// Prior placements survived on disk — and, with v4+ agents, their
 		// instances survived in memory on the (still-running) nodes. Open
@@ -310,6 +362,10 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	c.wg.Add(2)
 	go c.acceptLoop()
 	go c.reconcileLoop()
+	if !cfg.Monitor.Disabled {
+		c.wg.Add(1)
+		go c.monitorLoop()
+	}
 	return c, nil
 }
 
@@ -398,6 +454,8 @@ func (c *Coordinator) AddPipeline(spec PipelineSpec) error {
 	}
 	c.st.addPipeline(spec)
 	c.mu.Unlock()
+	c.event(obs.Event{Type: obs.EventPipelineAdd, Pipeline: spec.ID,
+		Detail: fmt.Sprintf("%d segment(s)", len(spec.Segments))})
 	c.logf("pipeline %q added (%d segment(s) -> sink %s)", spec.ID, len(spec.Segments), spec.SinkAddr)
 	c.kickReconcile()
 	return nil
@@ -428,6 +486,8 @@ func (c *Coordinator) RemovePipeline(id string) error {
 	for _, w := range ws {
 		_ = w.close()
 	}
+	c.event(obs.Event{Type: obs.EventPipelineRemove, Pipeline: id,
+		Detail: fmt.Sprintf("%d unit(s) stopped", len(placed))})
 	c.logf("pipeline %q removed; stopping %d unit(s)", id, len(placed))
 	if boot && c.cfg.StateDir != "" {
 		// The config is the operator's intent for the IDs it declares, so
@@ -452,6 +512,9 @@ func (c *Coordinator) Close() error {
 		c.mu.Unlock()
 	})
 	c.wg.Wait()
+	if c.metricsStop != nil {
+		_ = c.metricsStop()
+	}
 	c.mu.Lock()
 	c.st.close()
 	c.mu.Unlock()
@@ -634,6 +697,8 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		_ = w.send(reply)
 	case TypeWatch:
 		c.serveWatcher(w, first.Pipeline)
+	case TypeWatchEvents:
+		c.serveEventWatcher(w, first)
 	default:
 		_ = w.send(&Message{Type: TypeAck, ID: first.ID,
 			Err: fmt.Sprintf("unexpected first message %q", first.Type)})
@@ -658,6 +723,7 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 		w:        w,
 		proto:    proto,
 		lastBeat: time.Now(),
+		marks:    make(map[string]counterMark),
 		pending:  make(map[uint64]chan *Message),
 	}
 	c.mu.Lock()
@@ -690,6 +756,10 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 		c.markDead(name, "register ack failed")
 		return
 	}
+	c.event(obs.Event{Type: obs.EventRegister, Node: name, Detail: fmt.Sprintf("proto v%d", proto)})
+	for _, u := range adopted {
+		c.event(obs.Event{Type: obs.EventAdopt, Unit: u, Node: name})
+	}
 	if len(adopted) > 0 || len(stops) > 0 {
 		c.logf("node %s registered (proto v%d): adopted %v, stopping %v", name, proto, adopted, stops)
 	} else {
@@ -704,6 +774,7 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 		}
 		switch msg.Type {
 		case TypeHeartbeat:
+			var events []obs.Event
 			c.mu.Lock()
 			m.lastBeat = time.Now()
 			m.stats = msg.Segments
@@ -714,16 +785,43 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 			// already been replaced.
 			var failed []string
 			for _, s := range msg.Segments {
-				if !s.Failed {
+				if s.Failed {
+					if p := c.st.placements[s.Name]; p != nil && p.node == name && p.addr == s.Addr {
+						c.st.clear(p)
+						c.pendingStops = append(c.pendingStops, stopReq{node: name, seg: s.Name})
+						failed = append(failed, s.Name)
+						events = append(events, obs.Event{
+							Type: obs.EventSegmentFailed, Unit: s.Name, Node: name, Detail: s.Err,
+						})
+					}
+				}
+				// Loss counters become events by delta against the last
+				// heartbeat. A new instance address means restarted
+				// counters: reset the baseline silently.
+				if s.LegDrops == 0 && s.Skipped == 0 && m.marks[s.Name].addr == "" {
 					continue
 				}
-				if p := c.st.placements[s.Name]; p != nil && p.node == name && p.addr == s.Addr {
-					c.st.clear(p)
-					c.pendingStops = append(c.pendingStops, stopReq{node: name, seg: s.Name})
-					failed = append(failed, s.Name)
+				mark := m.marks[s.Name]
+				if mark.addr == s.Addr {
+					if d := s.LegDrops - mark.legDrops; d > 0 && s.LegDrops >= mark.legDrops {
+						events = append(events, obs.Event{
+							Type: obs.EventLegDrop, Unit: s.Name, Node: name,
+							Metric: "leg_drops", Value: float64(d),
+						})
+					}
+					if d := s.Skipped - mark.skipped; d > 0 && s.Skipped >= mark.skipped {
+						events = append(events, obs.Event{
+							Type: obs.EventGapSkip, Unit: s.Name, Node: name,
+							Metric: "skipped", Value: float64(d),
+						})
+					}
 				}
+				m.marks[s.Name] = counterMark{addr: s.Addr, legDrops: s.LegDrops, skipped: s.Skipped}
 			}
 			c.mu.Unlock()
+			for _, e := range events {
+				c.event(e)
+			}
 			if len(failed) > 0 {
 				c.logf("node %s reports dead segments %v; re-placing", name, failed)
 				c.kickReconcile()
@@ -854,6 +952,8 @@ func (c *Coordinator) markDead(name, reason string) {
 	sort.Strings(lost)
 	switch {
 	case len(lost) > 0:
+		c.event(obs.Event{Type: obs.EventFailover, Node: name,
+			Detail: fmt.Sprintf("%s; lost %s", reason, strings.Join(lost, " "))})
 		c.logf("node %s dead (%s); re-placing %v", name, reason, lost)
 	case hosts && c.cfg.DisconnectGrace > 0:
 		c.logf("node %s disconnected (%s); holding its units %s for reconnect-and-adopt",
@@ -884,7 +984,9 @@ func (c *Coordinator) reconcileLoop() {
 		case <-tick.C:
 		}
 		c.expireDead()
+		start := time.Now()
 		c.reconcile()
+		c.recDur.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -1006,6 +1108,8 @@ func (c *Coordinator) unitHost(u unit) (p *placement, node, addr, down string, l
 				}
 				node := p.node
 				c.logf("unit %s lost: node %s never reconnected within its disconnect grace; re-placing", u.name, node)
+				c.event(obs.Event{Type: obs.EventFailover, Node: node, Unit: u.name,
+					Detail: "disconnect grace expired"})
 				c.st.clear(p)
 				// Drop the grace entry once nothing is recorded against
 				// the node anymore; until then later units this pass read
@@ -1026,6 +1130,8 @@ func (c *Coordinator) unitHost(u unit) (p *placement, node, addr, down string, l
 				return p, p.node, p.addr, p.down, p.legs, false
 			}
 			c.logf("unit %s lost: node %s never re-registered within the grace window; re-placing", u.name, p.node)
+			c.event(obs.Event{Type: obs.EventFailover, Node: p.node, Unit: u.name,
+				Detail: "restart grace expired"})
 			c.st.clear(p)
 		}
 	}
@@ -1091,9 +1197,14 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 			c.logf("segment %s adopted on %s during assign; stopping duplicate on %s", u.name, p.node, pick)
 			return addr
 		}
+		typ := obs.EventPlace
+		if p.everPlaced {
+			typ = obs.EventReplace
+		}
 		p.node, p.addr, p.down = pick, a, down
 		c.st.commit(p)
 		c.mu.Unlock()
+		c.event(obs.Event{Type: typ, Unit: u.name, Node: pick, Addr: a})
 		c.logf("segment %s placed on %s at %s", u.name, pick, a)
 		return a
 	}
@@ -1110,6 +1221,7 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 			c.st.commit(p)
 		}
 		c.mu.Unlock()
+		c.event(obs.Event{Type: obs.EventRedirect, Unit: u.name, Node: node, Addr: down})
 		c.logf("%s re-spliced to %s", u.name, down)
 	}
 	return addr
@@ -1163,11 +1275,17 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 			c.logf("splitter %s adopted on %s during assign; stopping duplicate on %s", u.name, p.node, pick)
 			return addr
 		}
+		typ := obs.EventPlace
+		if p.everPlaced {
+			typ = obs.EventReplace
+		}
 		p.node, p.addr, p.down = pick, a, ""
 		p.legs = append([]string(nil), legs...)
 		p.epoch = epoch
 		c.st.commit(p)
 		c.mu.Unlock()
+		c.event(obs.Event{Type: typ, Unit: u.name, Node: pick, Addr: a,
+			Detail: fmt.Sprintf("epoch %d, %d legs", epoch, len(legs))})
 		c.logf("splitter %s placed on %s at %s (epoch %d, %d legs)", u.name, pick, a, epoch, len(legs))
 		return a
 	}
@@ -1182,6 +1300,7 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 			c.st.commit(p)
 		}
 		c.mu.Unlock()
+		c.event(obs.Event{Type: obs.EventLegs, Unit: u.name, Node: node, Value: float64(len(legs))})
 		c.logf("splitter %s legs now %v", u.name, legs)
 	}
 	return addr
@@ -1237,7 +1356,7 @@ func (c *Coordinator) pickNode(u unit, exclude string) string {
 	}
 	load := make(map[string]*NodeLoad, len(c.nodes))
 	for name, m := range c.nodes {
-		nl := &NodeLoad{Name: name, HostsNeighbor: neighbors[name]}
+		nl := &NodeLoad{Name: name, HostsNeighbor: neighbors[name], FlowTelemetry: m.proto >= 2}
 		for _, st := range m.stats {
 			nl.Lag += st.LagValue()
 			nl.QueueDepth += st.QueueDepth
@@ -1323,6 +1442,8 @@ func (c *Coordinator) Drain(unitName string) error {
 	if err != nil {
 		return fmt.Errorf("river: drain assign to %s: %w", dest, err)
 	}
+	c.event(obs.Event{Type: obs.EventDrain, Unit: unitName, Node: dest,
+		Detail: "from " + oldNode})
 
 	// Splice, then commit. The splice RPCs happen unlocked; every state
 	// change they imply — the unit's new placement, the upstream's new
@@ -1427,9 +1548,12 @@ func (c *Coordinator) Drain(unitName string) error {
 	}
 	c.mu.Unlock()
 	if entryDrain {
+		c.event(obs.Event{Type: obs.EventEntry, Pipeline: u.pipe, Addr: newAddr, Detail: "boundary drain"})
 		c.logf("pipeline %q entry now %s (boundary drain)", u.pipe, newAddr)
 		c.broadcastEntry(ws, u.pipe, newAddr, true)
 	}
+	c.event(obs.Event{Type: obs.EventDrained, Unit: unitName, Node: dest, Addr: newAddr,
+		Detail: "from " + oldNode})
 	c.logf("drained %s: %s -> %s at %s", unitName, oldNode, dest, newAddr)
 
 	// Let the old instance finish emitting the tail it accepted before
@@ -1534,6 +1658,7 @@ func (c *Coordinator) setEntry(pipe, addr string) {
 		}
 	}
 	c.mu.Unlock()
+	c.event(obs.Event{Type: obs.EventEntry, Pipeline: pipe, Addr: addr})
 	if pipe == "" {
 		c.logf("pipeline entry now %s", addr)
 	} else {

@@ -17,9 +17,20 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ProtocolVersion is the control protocol revision this build speaks.
+// Version 6 added the observability stream: every control-plane
+// transition (register, adopt, failover, place/replace, redirect, legs,
+// drain phases, pipeline add/remove, leg drops, gap skips, anomaly flags)
+// is appended to a bounded coordinator-side event log with monotonic
+// sequence numbers, and a new client verb ("watch_events") fetches the
+// retained backlog or follows the live stream, optionally filtered to one
+// pipeline. Heartbeats additionally carry the streamin emit-queue's
+// high-water mark (queue_peak), so transient saturation is visible even
+// when snapshots catch the queue drained.
 // Version 5 made the coordinator a multi-pipeline control plane: watch
 // subscriptions, entry notifications and drains are scoped to a pipeline
 // ID, the status snapshot reports per-pipeline topology, and two new
@@ -46,7 +57,7 @@ import (
 // Agents announce their version in the register message; the coordinator
 // records it and echoes its own in the ack, so operators can spot
 // mixed-version clusters in status output.
-const ProtocolVersion = 5
+const ProtocolVersion = 6
 
 // Control message types. Register, heartbeat and ack flow from agents to
 // the coordinator; assign, redirect and stop flow the other way. Status
@@ -89,6 +100,15 @@ const (
 	// TypePipelineRemove asks the coordinator (client session, protocol
 	// v5) to remove pipeline Pipeline and stop all its units.
 	TypePipelineRemove = "pipeline_remove"
+	// TypeWatchEvents asks the coordinator (client session, protocol v6)
+	// for control-plane events: the retained backlog with Seq > SinceSeq
+	// (optionally filtered to Pipeline), then — when Follow is set — the
+	// live stream until the client disconnects. Without Follow the
+	// coordinator sends the backlog and an ack, then the session ends.
+	TypeWatchEvents = "watch_events"
+	// TypeEvent carries a batch of control-plane events to a watch_events
+	// client in Events (protocol v6).
+	TypeEvent = "event"
 	// TypeAck answers a request; ID echoes the request's ID, Err carries
 	// a failure reason.
 	TypeAck = "ack"
@@ -162,6 +182,12 @@ type Message struct {
 	// agent was detached).
 	Adopted   []string `json:"adopted,omitempty"`
 	StopUnits []string `json:"stop_units,omitempty"`
+	// Events carries control-plane events to a watch_events client
+	// (protocol v6); SinceSeq and Follow parameterize the subscription
+	// (see TypeWatchEvents).
+	Events   []obs.Event `json:"events,omitempty"`
+	SinceSeq uint64      `json:"since_seq,omitempty"`
+	Follow   bool        `json:"follow,omitempty"`
 }
 
 // UnitInventory describes one unit an agent is still hosting when it
@@ -207,8 +233,12 @@ type SegmentStatus struct {
 	// derived from the authoritative Processed/Emitted counters wherever
 	// it is consumed (see SegmentStatus.LagValue), so placement and
 	// display can never disagree.
-	QueueDepth int    `json:"queue_depth,omitempty"`
-	QueueCap   int    `json:"queue_cap,omitempty"`
+	QueueDepth int `json:"queue_depth,omitempty"`
+	QueueCap   int `json:"queue_cap,omitempty"`
+	// QueuePeak is the emit-queue's high-water mark since the instance
+	// started (protocol v6) — transient saturation the instantaneous
+	// QueueDepth snapshot misses.
+	QueuePeak  int    `json:"queue_peak,omitempty"`
 	RecordsOut uint64 `json:"records_out,omitempty"`
 	BatchesOut uint64 `json:"batches_out,omitempty"`
 	BytesOut   uint64 `json:"bytes_out,omitempty"`

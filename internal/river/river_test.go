@@ -122,16 +122,19 @@ func TestLoadAwarePlacement(t *testing.T) {
 	if got := p.Pick(nil); got != "" {
 		t.Fatalf("empty candidates: got %q", got)
 	}
-	// With no telemetry LoadAware degrades to least-loaded.
-	got := p.Pick([]NodeLoad{{Name: "b", Segments: 2}, {Name: "a", Segments: 1}})
+	// An idle cluster (all queues empty) degrades to least-loaded.
+	got := p.Pick([]NodeLoad{
+		{Name: "b", Segments: 2, FlowTelemetry: true},
+		{Name: "a", Segments: 1, FlowTelemetry: true},
+	})
 	if got != "a" {
 		t.Fatalf("idle cluster: got %q want a", got)
 	}
 	// A saturated near-empty node must lose to a busier idle one: this is
 	// the case where LeastLoaded picks wrong.
 	cands := []NodeLoad{
-		{Name: "starved", Segments: 1, QueueDepth: 256, QueueCap: 256, Lag: 9000},
-		{Name: "roomy", Segments: 2},
+		{Name: "starved", Segments: 1, QueueDepth: 256, QueueCap: 256, Lag: 9000, FlowTelemetry: true},
+		{Name: "roomy", Segments: 2, FlowTelemetry: true},
 	}
 	if got := (LeastLoaded{}).Pick(cands); got != "starved" {
 		t.Fatalf("premise broken: LeastLoaded picked %q", got)
@@ -143,14 +146,50 @@ func TestLoadAwarePlacement(t *testing.T) {
 	// filtering segment's intentional reduction with backlog) but tips the
 	// scale when explicitly enabled for record-for-record pipelines.
 	cands = []NodeLoad{
-		{Name: "lagging", Segments: 1, Lag: 20000},
-		{Name: "fresh", Segments: 2},
+		{Name: "lagging", Segments: 1, Lag: 20000, FlowTelemetry: true},
+		{Name: "fresh", Segments: 2, FlowTelemetry: true},
 	}
 	if got := p.Pick(cands); got != "lagging" {
 		t.Fatalf("default policy weighed lag: got %q want lagging", got)
 	}
 	if got := (LoadAware{LagWeight: 1.0 / 5000}).Pick(cands); got != "fresh" {
 		t.Fatalf("explicit lag weight ignored: got %q want fresh", got)
+	}
+}
+
+// TestLoadAwareLegacyAgents pins the pre-v2 fix: a node whose agent
+// carries no flow telemetry reports all-zero counters, which must read
+// as "unknown load" (assumed half-saturated), not "perfectly idle" —
+// otherwise every re-placement would pile onto the oldest agents.
+func TestLoadAwareLegacyAgents(t *testing.T) {
+	p := LoadAware{}
+	// A legacy node with fewer segments must NOT beat a telemetry-reporting
+	// node that shows itself genuinely idle: 0 segments + assumed 0.5
+	// saturation (×4) = 2.0, versus 1 segment + 0 saturation = 1.0.
+	cands := []NodeLoad{
+		{Name: "legacy", Segments: 0},
+		{Name: "modern", Segments: 1, FlowTelemetry: true},
+	}
+	if got := p.Pick(cands); got != "modern" {
+		t.Fatalf("legacy silence mistaken for capacity: got %q want modern", got)
+	}
+	// But the legacy node still takes work when the reporting nodes are
+	// visibly busier than the assumed half-saturation.
+	cands = []NodeLoad{
+		{Name: "legacy", Segments: 0},
+		{Name: "modern", Segments: 1, QueueDepth: 200, QueueCap: 256, FlowTelemetry: true},
+	}
+	if got := p.Pick(cands); got != "legacy" {
+		t.Fatalf("legacy node frozen out: got %q want legacy", got)
+	}
+	// Negative UnknownSat restores the old treat-as-idle behavior.
+	old := LoadAware{UnknownSat: -1}
+	cands = []NodeLoad{
+		{Name: "legacy", Segments: 0},
+		{Name: "modern", Segments: 1, FlowTelemetry: true},
+	}
+	if got := old.Pick(cands); got != "legacy" {
+		t.Fatalf("UnknownSat<0 opt-out ignored: got %q want legacy", got)
 	}
 }
 
@@ -334,9 +373,12 @@ func newFakeAgentInv(t *testing.T, coordAddr, name, segAddr string, inv []UnitIn
 	}
 	f := &fakeAgent{t: t, w: newWire(conn), addr: segAddr,
 		hbStop: make(chan struct{}), done: make(chan struct{})}
-	reg := &Message{Type: TypeRegister, Node: name}
+	// The fakes emit current-protocol telemetry (setStats feeds full
+	// SegmentStatus heartbeats), so they register with the current version;
+	// protocol-downgrade tests construct legacy registers by hand instead.
+	reg := &Message{Type: TypeRegister, Node: name, Ver: ProtocolVersion}
 	if inv != nil {
-		reg.Ver, reg.Inventory = ProtocolVersion, inv
+		reg.Inventory = inv
 	}
 	if err := f.w.send(reg); err != nil {
 		t.Fatalf("fake %s: register: %v", name, err)

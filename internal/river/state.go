@@ -11,6 +11,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // unit is one placeable instance derived from a pipeline's spec: a plain
@@ -68,6 +70,10 @@ type placement struct {
 	down  string   // single downstream last told (segments, mergers)
 	legs  []string // splitter fan-out last told (sorted)
 	epoch uint16   // splitter incarnation assigned
+	// everPlaced records that this unit has held a node at some point in
+	// this incarnation, so the event stream can distinguish a first
+	// placement ("place") from a post-failover one ("replace").
+	everPlaced bool
 }
 
 // pipelineState is the per-pipeline half of the topology tables: the
@@ -130,6 +136,11 @@ type state struct {
 	flushIvl  time.Duration
 	flushDone chan struct{}
 	flushWG   sync.WaitGroup
+
+	// Observability handles, set by the owning Coordinator after newState
+	// (nil-safe: a state opened without them simply records nothing).
+	jAppends *obs.Counter   // journal entries appended
+	jFsync   *obs.Histogram // group-commit fsync latency
 }
 
 // persisted forms. The snapshot is the full table; journal entries are
@@ -456,6 +467,9 @@ func (s *state) hasPlacements() bool {
 // commit journals placement p's current fields — the hook every
 // placement mutation must pass through. Memory-only states no-op.
 func (s *state) commit(p *placement) {
+	if p.node != "" {
+		p.everPlaced = true
+	}
 	s.append(journalEntry{Op: "place", Unit: p.u.name, P: &placementRecord{
 		Node: p.node, Addr: p.addr, Down: p.down,
 		Legs: append([]string(nil), p.legs...), Epoch: p.epoch,
@@ -526,6 +540,7 @@ func (s *state) append(e journalEntry) {
 	}
 	s.jDirty = true
 	s.jmu.Unlock()
+	s.jAppends.Inc()
 	s.jEntries++
 	if s.jEntries >= s.snapEvery {
 		if err := s.snapshot(); err != nil {
@@ -575,7 +590,9 @@ func (s *state) syncJournal() {
 	if !dirty || f == nil {
 		return
 	}
+	start := time.Now()
 	_ = f.Sync()
+	s.jFsync.Observe(time.Since(start).Seconds())
 }
 
 // snapshot atomically rewrites the full table and truncates the journal
