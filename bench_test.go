@@ -239,11 +239,17 @@ func streamOutBench(b *testing.B, policy record.BatchConfig) {
 			if err != nil {
 				return
 			}
+			// The receiver decodes into pooled records and releases each
+			// one — the steady-state receive discipline of a hosted
+			// streamin.
 			rd := record.NewReaderSize(conn, record.DefaultMaxBatchBytes)
+			rd.SetPooled(true)
 			for {
-				if _, err := rd.Read(); err != nil {
+				rec, err := rd.Read()
+				if err != nil {
 					break
 				}
+				record.Release(rec)
 			}
 			conn.Close()
 		}
@@ -302,13 +308,14 @@ func BenchmarkStreamOutThroughput(b *testing.B) {
 // hop upstream of it.
 func BenchmarkMergerDedupThroughput(b *testing.B) {
 	const legs = 3
-	m, err := replica.NewMerger(replica.MergerConfig{Group: "bench", ListenAddr: "127.0.0.1:0"})
+	m, err := replica.NewMerger(replica.MergerConfig{Group: "bench", ListenAddr: "127.0.0.1:0", Pooled: true})
 	if err != nil {
 		b.Fatal(err)
 	}
 	var emitted atomic.Uint64
 	sink := pipeline.EmitterFunc(func(r *record.Record) error {
 		emitted.Add(1)
+		record.Release(r) // pooled merger: the sink owns and recycles
 		return nil
 	})
 	runDone := make(chan error, 1)

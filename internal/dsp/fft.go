@@ -183,6 +183,15 @@ func Magnitudes(x []complex128) []float64 {
 	return out
 }
 
+// MagnitudesInto writes |x[k]| into dst[k], the allocation-free form of
+// Magnitudes. dst and x must have the same length.
+func MagnitudesInto(dst []float64, x []complex128) {
+	_ = dst[:len(x)]
+	for i, c := range x {
+		dst[i] = math.Hypot(real(c), imag(c))
+	}
+}
+
 // PowerSpectrum returns |X[k]|^2 for each bin.
 func PowerSpectrum(x []complex128) []float64 {
 	out := make([]float64, len(x))

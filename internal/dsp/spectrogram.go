@@ -54,25 +54,39 @@ func ComputeSpectrogram(signal []float64, cfg SpectrogramConfig) (*Spectrogram, 
 	if err != nil {
 		return nil, err
 	}
-	sg := &Spectrogram{
-		BinHz:  cfg.SampleRate / float64(cfg.FrameLen),
-		HopSec: float64(cfg.Hop) / cfg.SampleRate,
+	nFrames := 0
+	if len(signal) >= cfg.FrameLen {
+		nFrames = (len(signal)-cfg.FrameLen)/cfg.Hop + 1
 	}
+	if nFrames == 0 {
+		return nil, fmt.Errorf("dsp: signal shorter than one frame (%d < %d)", len(signal), cfg.FrameLen)
+	}
+	plan, err := NewFFTPlan(cfg.FrameLen)
+	if err != nil {
+		return nil, err
+	}
+	sg := &Spectrogram{
+		BinHz:   cfg.SampleRate / float64(cfg.FrameLen),
+		HopSec:  float64(cfg.Hop) / cfg.SampleRate,
+		Columns: make([][]float64, nFrames),
+	}
+	// One backing array carries every column, and the frame/spectrum
+	// scratch is reused across frames: the whole render performs a fixed
+	// handful of allocations regardless of frame count.
+	backing := make([]float64, nFrames*bins)
 	frame := make([]float64, cfg.FrameLen)
-	for start := 0; start+cfg.FrameLen <= len(signal); start += cfg.Hop {
+	spec := make([]complex128, cfg.FrameLen)
+	for i, start := 0, 0; i < nFrames; i, start = i+1, start+cfg.Hop {
 		copy(frame, signal[start:start+cfg.FrameLen])
 		if err := win.ApplyTo(frame); err != nil {
 			return nil, err
 		}
-		spec, err := FFTReal(frame)
-		if err != nil {
+		if err := plan.RealTo(spec, frame); err != nil {
 			return nil, err
 		}
-		col := Magnitudes(spec[:bins])
-		sg.Columns = append(sg.Columns, col)
-	}
-	if len(sg.Columns) == 0 {
-		return nil, fmt.Errorf("dsp: signal shorter than one frame (%d < %d)", len(signal), cfg.FrameLen)
+		col := backing[i*bins : (i+1)*bins : (i+1)*bins]
+		MagnitudesInto(col, spec[:bins])
+		sg.Columns[i] = col
 	}
 	return sg, nil
 }

@@ -15,7 +15,10 @@ import (
 // half of the second — 50% overlap so the Welch window does not erase
 // signal at record boundaries. m records become 2m-1.
 type Reslice struct {
-	prev []float64
+	// prev/cur are swapped scratch buffers so the steady state decodes
+	// and builds overlaps without allocating.
+	prev, cur, overlap []float64
+	havePrev           bool
 }
 
 // NewReslice returns the operator.
@@ -27,30 +30,33 @@ func (o *Reslice) Name() string { return "reslice" }
 // Process implements pipeline.Operator.
 func (o *Reslice) Process(r *record.Record, out pipeline.Emitter) error {
 	if r.Kind == record.KindOpenScope && r.ScopeType == record.ScopeEnsemble {
-		o.prev = nil
+		o.havePrev = false
 		return out.Emit(r)
 	}
 	if r.Kind != record.KindData || r.Subtype != record.SubtypeAudio {
 		return out.Emit(r)
 	}
-	cur, err := r.Float64s()
+	cur, err := r.AppendFloat64s(o.cur[:0])
 	if err != nil {
 		return fmt.Errorf("reslice: %w", err)
 	}
-	if o.prev != nil && len(o.prev) == len(cur) && len(cur) >= 2 {
+	o.cur = cur
+	if o.havePrev && len(o.prev) == len(cur) && len(cur) >= 2 {
 		half := len(cur) / 2
-		overlap := make([]float64, 0, len(cur))
-		overlap = append(overlap, o.prev[len(o.prev)-half:]...)
-		overlap = append(overlap, cur[:len(cur)-half]...)
-		or := record.NewData(record.SubtypeAudio)
+		o.overlap = append(o.overlap[:0], o.prev[len(o.prev)-half:]...)
+		o.overlap = append(o.overlap, cur[:len(cur)-half]...)
+		or := record.GetRecord()
+		or.Kind = record.KindData
+		or.Subtype = record.SubtypeAudio
 		or.Scope = r.Scope
 		or.ScopeType = r.ScopeType
-		or.SetFloat64s(overlap)
+		or.SetFloat64s(o.overlap)
 		if err := out.Emit(or); err != nil {
 			return err
 		}
 	}
-	o.prev = cur
+	o.prev, o.cur = o.cur, o.prev
+	o.havePrev = true
 	return out.Emit(r)
 }
 
@@ -58,6 +64,7 @@ func (o *Reslice) Process(r *record.Record, out pipeline.Emitter) error {
 // spectral leakage at record edges before the DFT.
 type WelchWindow struct {
 	win map[int]*dsp.Window // per record length
+	buf []float64           // decode scratch
 }
 
 // NewWelchWindow returns the operator.
@@ -71,10 +78,11 @@ func (o *WelchWindow) Process(r *record.Record, out pipeline.Emitter) error {
 	if r.Kind != record.KindData || r.Subtype != record.SubtypeAudio {
 		return out.Emit(r)
 	}
-	samples, err := r.Float64s()
+	samples, err := r.AppendFloat64s(o.buf[:0])
 	if err != nil {
 		return fmt.Errorf("welchwindow: %w", err)
 	}
+	o.buf = samples
 	w, ok := o.win[len(samples)]
 	if !ok {
 		w, err = dsp.NewWindow(dsp.WindowWelch, len(samples))
@@ -92,69 +100,108 @@ func (o *WelchWindow) Process(r *record.Record, out pipeline.Emitter) error {
 
 // Float2Cplx converts float64 audio records to complex128 records for the
 // DFT.
-type Float2Cplx struct{}
+type Float2Cplx struct {
+	fbuf []float64
+	cbuf []complex128
+}
+
+// NewFloat2Cplx returns the operator.
+func NewFloat2Cplx() *Float2Cplx { return &Float2Cplx{} }
 
 // Name implements pipeline.Operator.
-func (Float2Cplx) Name() string { return "float2cplx" }
+func (o *Float2Cplx) Name() string { return "float2cplx" }
 
 // Process implements pipeline.Operator.
-func (Float2Cplx) Process(r *record.Record, out pipeline.Emitter) error {
+func (o *Float2Cplx) Process(r *record.Record, out pipeline.Emitter) error {
 	if r.Kind != record.KindData || r.Subtype != record.SubtypeAudio {
 		return out.Emit(r)
 	}
-	samples, err := r.Float64s()
+	samples, err := r.AppendFloat64s(o.fbuf[:0])
 	if err != nil {
 		return fmt.Errorf("float2cplx: %w", err)
 	}
-	c := make([]complex128, len(samples))
-	for i, v := range samples {
-		c[i] = complex(v, 0)
+	o.fbuf = samples
+	c := o.cbuf[:0]
+	for _, v := range samples {
+		c = append(c, complex(v, 0))
 	}
+	o.cbuf = c
 	r.SetComplex128s(c)
 	return out.Emit(r)
 }
 
-// DFT computes the discrete Fourier transform of each complex record.
-type DFT struct{}
+// DFT computes the discrete Fourier transform of each complex record,
+// planning each record length once so steady-state transforms are
+// in-place and allocation-free.
+type DFT struct {
+	plans map[int]*dsp.FFTPlan
+	buf   []complex128
+}
+
+// NewDFT returns the operator.
+func NewDFT() *DFT { return &DFT{} }
 
 // Name implements pipeline.Operator.
-func (DFT) Name() string { return "dft" }
+func (o *DFT) Name() string { return "dft" }
 
 // Process implements pipeline.Operator.
-func (DFT) Process(r *record.Record, out pipeline.Emitter) error {
+func (o *DFT) Process(r *record.Record, out pipeline.Emitter) error {
 	if r.Kind != record.KindData || r.PayloadType != record.PayloadComplex128 {
 		return out.Emit(r)
 	}
-	x, err := r.Complex128s()
+	x, err := r.AppendComplex128s(o.buf[:0])
 	if err != nil {
 		return fmt.Errorf("dft: %w", err)
 	}
-	X, err := dsp.FFT(x)
-	if err != nil {
+	o.buf = x
+	if o.plans == nil {
+		o.plans = make(map[int]*dsp.FFTPlan)
+	}
+	plan, ok := o.plans[len(x)]
+	if !ok {
+		plan, err = dsp.NewFFTPlan(len(x))
+		if err != nil {
+			return fmt.Errorf("dft: %w", err)
+		}
+		o.plans[len(x)] = plan
+	}
+	if err := plan.Transform(x, false); err != nil {
 		return fmt.Errorf("dft: %w", err)
 	}
-	r.SetComplex128s(X)
+	r.SetComplex128s(x)
 	return out.Emit(r)
 }
 
 // CAbs converts each complex spectral record to a float64 magnitude
 // record (SubtypeSpectrum).
-type CAbs struct{}
+type CAbs struct {
+	cbuf []complex128
+	fbuf []float64
+}
+
+// NewCAbs returns the operator.
+func NewCAbs() *CAbs { return &CAbs{} }
 
 // Name implements pipeline.Operator.
-func (CAbs) Name() string { return "cabs" }
+func (o *CAbs) Name() string { return "cabs" }
 
 // Process implements pipeline.Operator.
-func (CAbs) Process(r *record.Record, out pipeline.Emitter) error {
+func (o *CAbs) Process(r *record.Record, out pipeline.Emitter) error {
 	if r.Kind != record.KindData || r.PayloadType != record.PayloadComplex128 {
 		return out.Emit(r)
 	}
-	x, err := r.Complex128s()
+	x, err := r.AppendComplex128s(o.cbuf[:0])
 	if err != nil {
 		return fmt.Errorf("cabs: %w", err)
 	}
+	o.cbuf = x
+	if cap(o.fbuf) < len(x) {
+		o.fbuf = make([]float64, len(x))
+	}
+	mags := o.fbuf[:len(x)]
+	dsp.MagnitudesInto(mags, x)
 	r.Subtype = record.SubtypeSpectrum
-	r.SetFloat64s(dsp.Magnitudes(x))
+	r.SetFloat64s(mags)
 	return out.Emit(r)
 }
 
@@ -165,6 +212,7 @@ func (CAbs) Process(r *record.Record, out pipeline.Emitter) error {
 type Cutout struct {
 	LowHz, HighHz float64
 	sampleRate    float64
+	buf           []float64
 }
 
 // NewCutout returns a cutout for the paper's band when lo/hi are zero.
@@ -193,10 +241,11 @@ func (o *Cutout) Process(r *record.Record, out pipeline.Emitter) error {
 	if o.sampleRate <= 0 {
 		return fmt.Errorf("cutout: no sample rate in scope context")
 	}
-	mags, err := r.Float64s()
+	mags, err := r.AppendFloat64s(o.buf[:0])
 	if err != nil {
 		return fmt.Errorf("cutout: %w", err)
 	}
+	o.buf = mags
 	// The record holds the full DFT (length n); only bins below Nyquist
 	// are meaningful for real input.
 	n := len(mags)
@@ -219,7 +268,8 @@ func (o *Cutout) Process(r *record.Record, out pipeline.Emitter) error {
 // PAAOp reduces each spectrum record by an integer factor using piecewise
 // aggregate approximation (the paper's optional paa operator, factor 10).
 type PAAOp struct {
-	Factor int
+	Factor       int
+	buf, reduced []float64
 }
 
 // NewPAA returns the operator; factor <= 1 passes records through.
@@ -233,14 +283,16 @@ func (o *PAAOp) Process(r *record.Record, out pipeline.Emitter) error {
 	if o.Factor <= 1 || r.Kind != record.KindData || r.Subtype != record.SubtypeSpectrum {
 		return out.Emit(r)
 	}
-	v, err := r.Float64s()
+	v, err := r.AppendFloat64s(o.buf[:0])
 	if err != nil {
 		return fmt.Errorf("paa: %w", err)
 	}
-	reduced, err := timeseries.PAAReduce(v, o.Factor)
+	o.buf = v
+	reduced, err := timeseries.PAAReduceInto(o.reduced[:0], v, o.Factor)
 	if err != nil {
 		return fmt.Errorf("paa: %w", err)
 	}
+	o.reduced = reduced
 	r.SetFloat64s(reduced)
 	return out.Emit(r)
 }
@@ -283,16 +335,18 @@ func (o *Rec2Vect) Process(r *record.Record, out pipeline.Emitter) error {
 	if r.Kind != record.KindData || r.Subtype != record.SubtypeSpectrum {
 		return out.Emit(r)
 	}
-	v, err := r.Float64s()
+	buf, err := r.AppendFloat64s(o.buf)
 	if err != nil {
 		return fmt.Errorf("rec2vect: %w", err)
 	}
-	o.buf = append(o.buf, v...)
+	o.buf = buf
 	o.have++
 	if o.have < o.MergeCount {
 		return nil
 	}
-	p := record.NewData(record.SubtypePattern)
+	p := record.GetRecord()
+	p.Kind = record.KindData
+	p.Subtype = record.SubtypePattern
 	p.Scope = r.Scope
 	p.ScopeType = r.ScopeType
 	p.SetFloat64s(o.buf)
@@ -308,9 +362,9 @@ func SpectralOps(paaFactor int) []pipeline.Operator {
 	ops := []pipeline.Operator{
 		NewReslice(),
 		NewWelchWindow(),
-		Float2Cplx{},
-		DFT{},
-		CAbs{},
+		NewFloat2Cplx(),
+		NewDFT(),
+		NewCAbs(),
 		NewCutout(0, 0),
 	}
 	if paaFactor > 1 {

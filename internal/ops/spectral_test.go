@@ -272,7 +272,7 @@ func TestDFTPassthroughForNonComplex(t *testing.T) {
 	})
 	r := record.NewData(record.SubtypeAudio)
 	r.SetFloat64s([]float64{1, 2})
-	if err := (DFT{}).Process(r, out); err != nil {
+	if err := NewDFT().Process(r, out); err != nil {
 		t.Fatal(err)
 	}
 	if passed != r {

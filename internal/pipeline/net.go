@@ -64,8 +64,11 @@ type StreamOut struct {
 
 	// timerMu guards the armed flag and stall backoff of the on-demand
 	// delay-flush timer. It nests inside writeMu and is never held across
-	// a writeMu acquire.
+	// a writeMu acquire. The timer itself is created once and re-armed
+	// with Reset so steady-state batching schedules no per-batch timer
+	// allocations.
 	timerMu    sync.Mutex
+	timer      *time.Timer
 	timerArmed bool
 	timerStall time.Duration // re-arm backoff while writeMu is contended
 	// maxDelay mirrors the policy's MaxDelay; written only at
@@ -364,7 +367,11 @@ func (s *StreamOut) armFlushTimer(d time.Duration) {
 		return
 	}
 	s.timerArmed = true
-	time.AfterFunc(d, s.timedFlush)
+	if s.timer == nil {
+		s.timer = time.AfterFunc(d, s.timedFlush)
+	} else {
+		s.timer.Reset(d)
+	}
 }
 
 // timedFlush runs when the delay timer fires: if the pending batch is
@@ -482,6 +489,11 @@ func (s *StreamOut) Close() error {
 		s.writeMu.Unlock()
 	}
 	s.cancel()
+	s.timerMu.Lock()
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.timerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dropConnLocked()
@@ -533,6 +545,15 @@ type StreamIn struct {
 	// reader and the downstream emitter. 0 emits directly (no queue).
 	// Set before Run.
 	QueueSize int
+
+	// Pooled, when true, decodes records into pool-backed storage
+	// (record.GetRecord) and marks the source as recycling: a hosting
+	// pipeline releases each record after its sink consumes it, making
+	// the steady-state receive path allocation-free. Enable only when
+	// every downstream consumer honors the ownership contract in
+	// record/pool.go (Node-hosted chains do); off by default so callers
+	// that retain raw records keep working. Set before Run.
+	Pooled bool
 }
 
 // NewStreamIn returns a streamin source listening on addr ("host:port";
@@ -553,6 +574,11 @@ func (s *StreamIn) Name() string { return "streamin(" + s.Addr() + ")" }
 // already carry their producer's sequencing (including replication tags),
 // which must survive the hop rather than being restamped.
 func (s *StreamIn) PreservesSeq() bool { return true }
+
+// RecyclesRecords implements RecycledSource: a pooled streamin's records
+// are released back to the record pool by the hosting pipeline once the
+// sink has consumed them.
+func (s *StreamIn) RecyclesRecords() bool { return s.Pooled }
 
 // Addr returns the bound listen address.
 func (s *StreamIn) Addr() string { return s.ln.Addr().String() }
@@ -619,6 +645,9 @@ func (s *StreamIn) Run(out Emitter) error {
 			defer drainWG.Done()
 			for r := range q {
 				if drainErr != nil {
+					if s.Pooled {
+						record.Release(r)
+					}
 					continue // discard so the reader side never blocks
 				}
 				if err := out.Emit(r); err != nil {
@@ -749,6 +778,7 @@ func (s *StreamIn) serveConn(conn net.Conn, out Emitter) error {
 
 	tracker := record.NewTracker()
 	rd := record.NewReaderSize(conn, netReadBuffer)
+	rd.SetPooled(s.Pooled)
 	for {
 		rec, err := rd.Read()
 		if err != nil {
@@ -771,6 +801,9 @@ func (s *StreamIn) serveConn(conn net.Conn, out Emitter) error {
 		if err := tracker.Observe(rec); err != nil {
 			// Structurally invalid record (e.g. stray CloseScope from a
 			// confused upstream): drop it rather than poison downstream.
+			if s.Pooled {
+				record.Release(rec)
+			}
 			continue
 		}
 		if err := out.Emit(rec); err != nil {

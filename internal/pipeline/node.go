@@ -104,7 +104,7 @@ type (
 	}
 	queueStats     interface{ QueueDepth() (int, int) }
 	queuePeakStats interface{ QueuePeak() int }
-	egressStats interface {
+	egressStats    interface {
 		RecordsOut() uint64
 		BatchesOut() uint64
 		BytesOut() uint64
@@ -170,6 +170,9 @@ func (n *Node) Host(segName, segType, listenAddr, downstreamAddr string) (string
 		return "", err
 	}
 	in.QueueSize = n.QueueSize
+	// Hosted chains end in a streamout, which copies records into its
+	// batch buffer synchronously — safe for pooled, recycled records.
+	in.Pooled = true
 	out := NewStreamOutBatched(downstreamAddr, n.FlushPolicy)
 	if err := n.HostUnit(segName, "", in, NewSegment(segName, ops...), out); err != nil {
 		return "", err

@@ -18,6 +18,11 @@ import (
 // backpressure; it returns an error when the downstream has failed or the
 // pipeline is shutting down, in which case the operator should return the
 // error unchanged.
+//
+// Emit transfers ownership of the record to the downstream (see the
+// ownership contract in record/pool.go): after a successful Emit the
+// caller must not touch the record or any slice aliasing its payload.
+// A caller that needs the data afterwards emits a Clone.
 type Emitter interface {
 	Emit(*record.Record) error
 }
@@ -66,6 +71,17 @@ func (Relay) Process(r *record.Record, out Emitter) error { return out.Emit(r) }
 type Source interface {
 	Name() string
 	Run(out Emitter) error
+}
+
+// RecycledSource marks a Source that produces pool-backed records (see
+// record.GetRecord). When a pipeline's source recycles, Pipeline.Run
+// releases each record back to the pool after the sink consumes it, so
+// the steady-state path allocates nothing per record. Sinks downstream of
+// a recycling source must therefore not retain records past Consume —
+// both hosted sinks (StreamOut copies bytes into its batch buffer, the
+// replica Splitter fans out pooled clones) already comply.
+type RecycledSource interface {
+	RecyclesRecords() bool
 }
 
 // SeqPreserver marks a Source whose records arrive already sequenced by an

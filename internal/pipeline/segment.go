@@ -265,7 +265,14 @@ func (p *Pipeline) Run(parent context.Context) error {
 		}(seg)
 	}
 
-	// Sink stage.
+	// Sink stage. When the source produces pool-backed records, the sink
+	// stage is the end of the ownership chain: each record is released
+	// back to the pool once Consume returns (hosted sinks copy what they
+	// need synchronously), closing the zero-alloc recycle loop.
+	recycle := false
+	if rs, ok := p.source.(RecycledSource); ok {
+		recycle = rs.RecyclesRecords()
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -277,7 +284,11 @@ func (p *Pipeline) Run(parent context.Context) error {
 				if !ok {
 					return
 				}
-				if err := p.sink.Consume(r); err != nil {
+				err := p.sink.Consume(r)
+				if recycle {
+					record.Release(r)
+				}
+				if err != nil {
 					fail(fmt.Errorf("sink %s: %w", p.sink.Name(), err))
 					return
 				}

@@ -110,6 +110,7 @@ type Reader struct {
 	r      *bufio.Reader
 	n      uint64
 	strict bool
+	pooled bool
 }
 
 // NewReader returns a Reader decoding from r. The reader resynchronizes on
@@ -135,6 +136,31 @@ func NewReaderSize(r io.Reader, size int) *Reader {
 // checksum error is returned to the caller; otherwise Read skips forward to
 // the next magic word and tries again.
 func (r *Reader) SetStrict(strict bool) { r.strict = strict }
+
+// SetPooled controls record allocation: when pooled, decoded records come
+// from the record pool (GetRecord) and reuse payload capacity in place.
+// The consumer of a pooled reader's records takes ownership of each one
+// and releases it (Release) when done — see the ownership contract in
+// pool.go. Off by default so plain readers can retain records freely.
+func (r *Reader) SetPooled(pooled bool) { r.pooled = pooled }
+
+// newRecord returns the destination record for one decode: pooled (with
+// reusable payload capacity) or freshly allocated.
+func (r *Reader) newRecord() *Record {
+	if r.pooled {
+		return GetRecord()
+	}
+	return new(Record)
+}
+
+// Reset discards any buffered state and switches the reader to decode
+// from src, retaining the underlying buffer and mode flags. It lets one
+// reader (and its read buffer) serve a sequence of streams without
+// reallocating.
+func (r *Reader) Reset(src io.Reader) {
+	r.r.Reset(src)
+	r.n = 0
+}
 
 // Count returns the number of records successfully read.
 func (r *Reader) Count() uint64 { return r.n }
@@ -186,20 +212,11 @@ func (r *Reader) readOne() (*Record, error) {
 	if getU32(hdr) != wireMagic {
 		return nil, ErrBadMagic
 	}
-	rec := &Record{
-		Kind:        Kind(hdr[4]),
-		Subtype:     getU16(hdr[5:]),
-		Scope:       getU16(hdr[7:]),
-		ScopeType:   ScopeType(getU16(hdr[9:])),
-		Seq:         getU64(hdr[11:]),
-		SourceID:    getU32(hdr[19:]),
-		PayloadType: PayloadType(getU16(hdr[23:])),
-	}
 	plen := getU32(hdr[25:])
 	if plen > MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
 	}
-	if !rec.Kind.Valid() {
+	if !Kind(hdr[4]).Valid() {
 		return nil, fmt.Errorf("record: invalid kind %d on wire", hdr[4])
 	}
 	if want := getU16(hdr[hdrCRCOff:]); uint16(crc32.ChecksumIEEE(hdr[4:hdrCRCOff])) != want {
@@ -216,11 +233,15 @@ func (r *Reader) readOne() (*Record, error) {
 		if got := crc32.ChecksumIEEE(full[4 : headerSize+int(plen)]); got != want {
 			return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadChecksum, got, want)
 		}
+		rec := r.newRecord()
+		// The second Peek may have slid the buffer and invalidated hdr;
+		// full is the live view of the same bytes.
+		fillHeader(rec, full)
 		if plen > 0 {
-			rec.Payload = make([]byte, plen)
-			copy(rec.Payload, payload)
+			copy(rec.ensurePayload(int(plen)), payload)
 		}
 		if _, err := r.r.Discard(total); err != nil {
+			r.recycle(rec)
 			return nil, fmt.Errorf("record: discard: %w", err)
 		}
 		return rec, nil
@@ -232,21 +253,44 @@ func (r *Reader) readOne() (*Record, error) {
 	if _, err := r.r.Discard(headerSize); err != nil {
 		return nil, fmt.Errorf("record: discard header: %w", err)
 	}
-	body := make([]byte, int(plen)+trailerSize)
-	if _, err := io.ReadFull(r.r, body); err != nil {
+	rec := r.newRecord()
+	fillHeader(rec, hdrCopy[:])
+	if _, err := io.ReadFull(r.r, rec.ensurePayload(int(plen))); err != nil {
+		r.recycle(rec)
 		return nil, unexpectedEOF(err)
 	}
-	rec.Payload = body[:plen:plen]
-	want := getU32(body[plen:])
+	var trailer [trailerSize]byte
+	if _, err := io.ReadFull(r.r, trailer[:]); err != nil {
+		r.recycle(rec)
+		return nil, unexpectedEOF(err)
+	}
+	want := getU32(trailer[:])
 	got := crc32.ChecksumIEEE(hdrCopy[4:])
 	got = crc32.Update(got, crc32.IEEETable, rec.Payload)
 	if got != want {
+		r.recycle(rec)
 		return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadChecksum, got, want)
 	}
-	if plen == 0 {
-		rec.Payload = nil
-	}
 	return rec, nil
+}
+
+// fillHeader populates rec's header fields from a validated wire header,
+// leaving the payload untouched.
+func fillHeader(rec *Record, hdr []byte) {
+	rec.Kind = Kind(hdr[4])
+	rec.Subtype = getU16(hdr[5:])
+	rec.Scope = getU16(hdr[7:])
+	rec.ScopeType = ScopeType(getU16(hdr[9:]))
+	rec.Seq = getU64(hdr[11:])
+	rec.SourceID = getU32(hdr[19:])
+	rec.PayloadType = PayloadType(getU16(hdr[23:]))
+}
+
+// recycle returns a half-decoded record to the pool on error paths.
+func (r *Reader) recycle(rec *Record) {
+	if r.pooled {
+		Release(rec)
+	}
 }
 
 // getU32Partial reads up to 4 bytes, zero-padding; used only to distinguish

@@ -214,6 +214,33 @@ func (r *Record) Clone() *Record {
 	return &c
 }
 
+// CloneInto deep-copies r into dst, reusing dst's payload capacity when it
+// suffices, and returns dst. The typical dst is a pooled record (see
+// GetCopy); after CloneInto, dst shares no storage with r.
+func (r *Record) CloneInto(dst *Record) *Record {
+	p := dst.Payload
+	*dst = *r
+	dst.Payload = p
+	if r.Payload == nil {
+		dst.Payload = nil
+		return dst
+	}
+	copy(dst.ensurePayload(len(r.Payload)), r.Payload)
+	return dst
+}
+
+// ensurePayload resizes the payload to n bytes, reusing the existing
+// buffer when its capacity suffices, and returns the resized slice. The
+// contents are unspecified; callers overwrite every byte.
+func (r *Record) ensurePayload(n int) []byte {
+	if cap(r.Payload) >= n {
+		r.Payload = r.Payload[:n]
+	} else {
+		r.Payload = make([]byte, n)
+	}
+	return r.Payload
+}
+
 // String returns a compact diagnostic rendering of the record header.
 func (r *Record) String() string {
 	return fmt.Sprintf("%s{sub=%d scope=%d/%s seq=%d src=%d %s:%dB}",
@@ -221,88 +248,109 @@ func (r *Record) String() string {
 		r.PayloadType, len(r.Payload))
 }
 
-// SetFloat64s encodes v as the record payload.
+// SetFloat64s encodes v as the record payload, reusing existing payload
+// capacity when it suffices.
 func (r *Record) SetFloat64s(v []float64) {
 	r.PayloadType = PayloadFloat64
-	r.Payload = make([]byte, 8*len(v))
+	p := r.ensurePayload(8 * len(v))
 	for i, x := range v {
-		putU64(r.Payload[8*i:], math.Float64bits(x))
+		putU64(p[8*i:], math.Float64bits(x))
 	}
 }
 
 // Float64s decodes the payload as a float64 slice. The returned slice is
-// freshly allocated.
+// freshly allocated; use AppendFloat64s to decode into reusable scratch.
 func (r *Record) Float64s() ([]float64, error) {
+	return r.AppendFloat64s(nil)
+}
+
+// AppendFloat64s decodes the payload as float64 samples appended to dst
+// (which may be nil) and returns the extended slice. Passing scratch with
+// sufficient capacity (e.g. buf[:0]) makes decoding allocation-free.
+func (r *Record) AppendFloat64s(dst []float64) ([]float64, error) {
 	if r.PayloadType != PayloadFloat64 {
 		return nil, fmt.Errorf("%w: have %s, want %s", ErrPayloadType, r.PayloadType, PayloadFloat64)
 	}
 	if len(r.Payload)%8 != 0 {
 		return nil, fmt.Errorf("%w: %d bytes is not a multiple of 8", ErrShortPayload, len(r.Payload))
 	}
-	v := make([]float64, len(r.Payload)/8)
-	for i := range v {
-		v[i] = math.Float64frombits(getU64(r.Payload[8*i:]))
+	for i := 0; i < len(r.Payload); i += 8 {
+		dst = append(dst, math.Float64frombits(getU64(r.Payload[i:])))
 	}
-	return v, nil
+	return dst, nil
 }
 
-// SetComplex128s encodes v as interleaved float64 pairs.
+// SetComplex128s encodes v as interleaved float64 pairs, reusing existing
+// payload capacity when it suffices.
 func (r *Record) SetComplex128s(v []complex128) {
 	r.PayloadType = PayloadComplex128
-	r.Payload = make([]byte, 16*len(v))
+	p := r.ensurePayload(16 * len(v))
 	for i, x := range v {
-		putU64(r.Payload[16*i:], math.Float64bits(real(x)))
-		putU64(r.Payload[16*i+8:], math.Float64bits(imag(x)))
+		putU64(p[16*i:], math.Float64bits(real(x)))
+		putU64(p[16*i+8:], math.Float64bits(imag(x)))
 	}
 }
 
-// Complex128s decodes the payload as a complex128 slice.
+// Complex128s decodes the payload as a complex128 slice. The returned
+// slice is freshly allocated; use AppendComplex128s for reusable scratch.
 func (r *Record) Complex128s() ([]complex128, error) {
+	return r.AppendComplex128s(nil)
+}
+
+// AppendComplex128s decodes the payload as complex samples appended to
+// dst (which may be nil) and returns the extended slice.
+func (r *Record) AppendComplex128s(dst []complex128) ([]complex128, error) {
 	if r.PayloadType != PayloadComplex128 {
 		return nil, fmt.Errorf("%w: have %s, want %s", ErrPayloadType, r.PayloadType, PayloadComplex128)
 	}
 	if len(r.Payload)%16 != 0 {
 		return nil, fmt.Errorf("%w: %d bytes is not a multiple of 16", ErrShortPayload, len(r.Payload))
 	}
-	v := make([]complex128, len(r.Payload)/16)
-	for i := range v {
-		re := math.Float64frombits(getU64(r.Payload[16*i:]))
-		im := math.Float64frombits(getU64(r.Payload[16*i+8:]))
-		v[i] = complex(re, im)
+	for i := 0; i < len(r.Payload); i += 16 {
+		re := math.Float64frombits(getU64(r.Payload[i:]))
+		im := math.Float64frombits(getU64(r.Payload[i+8:]))
+		dst = append(dst, complex(re, im))
 	}
-	return v, nil
+	return dst, nil
 }
 
-// SetPCM16 encodes 16-bit samples as the record payload.
+// SetPCM16 encodes 16-bit samples as the record payload, reusing existing
+// payload capacity when it suffices.
 func (r *Record) SetPCM16(v []int16) {
 	r.PayloadType = PayloadPCM16
-	r.Payload = make([]byte, 2*len(v))
+	p := r.ensurePayload(2 * len(v))
 	for i, s := range v {
-		r.Payload[2*i] = byte(uint16(s))
-		r.Payload[2*i+1] = byte(uint16(s) >> 8)
+		p[2*i] = byte(uint16(s))
+		p[2*i+1] = byte(uint16(s) >> 8)
 	}
 }
 
-// PCM16 decodes the payload as signed 16-bit samples.
+// PCM16 decodes the payload as signed 16-bit samples. The returned slice
+// is freshly allocated; use AppendPCM16 to decode into reusable scratch.
 func (r *Record) PCM16() ([]int16, error) {
+	return r.AppendPCM16(nil)
+}
+
+// AppendPCM16 decodes the payload as 16-bit samples appended to dst
+// (which may be nil) and returns the extended slice.
+func (r *Record) AppendPCM16(dst []int16) ([]int16, error) {
 	if r.PayloadType != PayloadPCM16 {
 		return nil, fmt.Errorf("%w: have %s, want %s", ErrPayloadType, r.PayloadType, PayloadPCM16)
 	}
 	if len(r.Payload)%2 != 0 {
 		return nil, fmt.Errorf("%w: %d bytes is not a multiple of 2", ErrShortPayload, len(r.Payload))
 	}
-	v := make([]int16, len(r.Payload)/2)
-	for i := range v {
-		v[i] = int16(uint16(r.Payload[2*i]) | uint16(r.Payload[2*i+1])<<8)
+	for i := 0; i < len(r.Payload); i += 2 {
+		dst = append(dst, int16(uint16(r.Payload[i])|uint16(r.Payload[i+1])<<8))
 	}
-	return v, nil
+	return dst, nil
 }
 
-// SetBytes attaches raw bytes as the payload. The slice is copied.
+// SetBytes attaches raw bytes as the payload. The slice is copied into
+// the record's own buffer, reusing capacity when it suffices.
 func (r *Record) SetBytes(b []byte) {
 	r.PayloadType = PayloadBytes
-	r.Payload = make([]byte, len(b))
-	copy(r.Payload, b)
+	copy(r.ensurePayload(len(b)), b)
 }
 
 // SetContext encodes a key/value string map as the payload. OpenScope

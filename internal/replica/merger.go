@@ -28,6 +28,12 @@ type MergerConfig struct {
 	ListenAddr string
 	// Window bounds the reorder buffer (default DefaultWindow).
 	Window int
+	// Pooled decodes leg records into pool-backed storage
+	// (record.GetRecord) and marks the merger as a recycling source: a
+	// hosting pipeline releases each emitted record after its sink
+	// consumes it. Enable only when every downstream consumer honors the
+	// ownership contract in record/pool.go.
+	Pooled bool
 }
 
 // Merger is a pipeline.Source that accepts the N replica legs of a
@@ -47,6 +53,7 @@ type Merger struct {
 	group  string
 	stream uint32
 	window int
+	pooled bool
 	ln     net.Listener
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -65,9 +72,16 @@ type Merger struct {
 	epoch     uint16
 	haveEpoch bool
 	next      uint64
-	pending   map[uint64]*record.Record
-	tracker   *record.Tracker // output scope structure
-	emitErr   error
+	// The reorder buffer is a seq-indexed ring: a record with annotation
+	// n waits in ring[n%window] (with ringSeq confirming the slot's
+	// occupant), which makes the dedup probe and the insert a couple of
+	// array accesses instead of map churn — no per-record hashing, no
+	// rehash garbage, O(1) in the steady state.
+	ring    []*record.Record
+	ringSeq []uint64
+	nring   int             // occupied ring slots
+	tracker *record.Tracker // output scope structure
+	emitErr error
 }
 
 // NewMerger binds the merger's listener.
@@ -88,10 +102,12 @@ func NewMerger(cfg MergerConfig) (*Merger, error) {
 		group:   cfg.Group,
 		stream:  record.ReplicaStreamID(cfg.Group),
 		window:  cfg.Window,
+		pooled:  cfg.Pooled,
 		ln:      ln,
 		ctx:     ctx,
 		cancel:  cancel,
-		pending: make(map[uint64]*record.Record),
+		ring:    make([]*record.Record, cfg.Window),
+		ringSeq: make([]uint64, cfg.Window),
 		tracker: record.NewTracker(),
 	}, nil
 }
@@ -105,6 +121,11 @@ func (m *Merger) Addr() string { return m.ln.Addr().String() }
 // PreservesSeq implements pipeline.SeqPreserver: emitted records keep
 // their replication tags, so a downstream hop can still observe them.
 func (m *Merger) PreservesSeq() bool { return true }
+
+// RecyclesRecords implements pipeline.RecycledSource: a pooled merger's
+// records are released back to the record pool by the hosting pipeline
+// once the sink has consumed them.
+func (m *Merger) RecyclesRecords() bool { return m.pooled }
 
 // Connections returns the cumulative number of legs served.
 func (m *Merger) Connections() uint64 { return m.conns.Load() }
@@ -129,6 +150,43 @@ func (m *Merger) Untagged() uint64 { return m.untagged.Load() }
 // the merger's saturation gauge for load-aware placement.
 func (m *Merger) QueueDepth() (depth, capacity int) {
 	return int(m.depth.Load()), m.window
+}
+
+// slot returns the ring index annotation n maps to.
+func (m *Merger) slot(n uint64) uint64 { return n % uint64(len(m.ring)) }
+
+// bufferedLocked returns the buffered record for annotation n, or nil.
+func (m *Merger) bufferedLocked(n uint64) *record.Record {
+	s := m.slot(n)
+	if m.ring[s] != nil && m.ringSeq[s] == n {
+		return m.ring[s]
+	}
+	return nil
+}
+
+// takeLocked removes and returns the buffered record for annotation n.
+func (m *Merger) takeLocked(n uint64) *record.Record {
+	s := m.slot(n)
+	r := m.ring[s]
+	if r == nil || m.ringSeq[s] != n {
+		return nil
+	}
+	m.ring[s] = nil
+	m.nring--
+	m.depth.Store(int64(m.nring))
+	return r
+}
+
+// clearRingLocked discards (and recycles) every buffered record.
+func (m *Merger) clearRingLocked() {
+	for i, r := range m.ring {
+		if r != nil {
+			record.Release(r)
+			m.ring[i] = nil
+		}
+	}
+	m.nring = 0
+	m.depth.Store(0)
 }
 
 // FillStats implements pipeline.EndpointStatser.
@@ -207,6 +265,7 @@ func (m *Merger) serveLeg(conn net.Conn, out pipeline.Emitter) {
 		}
 	}()
 	rd := record.NewReaderSize(conn, record.DefaultMaxBatchBytes)
+	rd.SetPooled(m.pooled)
 	for {
 		rec, err := rd.Read()
 		if err != nil {
@@ -236,6 +295,7 @@ func (m *Merger) ingest(r *record.Record, out pipeline.Emitter) error {
 	defer m.mu.Unlock()
 	if !ok {
 		m.untagged.Add(1)
+		record.Release(r)
 		return nil
 	}
 	switch {
@@ -250,37 +310,51 @@ func (m *Merger) ingest(r *record.Record, out pipeline.Emitter) error {
 		}
 		m.epoch, m.haveEpoch = epoch, true
 		m.next = n
-		m.pending = make(map[uint64]*record.Record)
-		m.depth.Store(0)
+		m.clearRingLocked()
 	case epoch < m.epoch:
 		// A stale leg still relaying the old splitter's stream.
 		m.dups.Add(1)
+		record.Release(r)
 		return nil
 	}
-	switch {
-	case n < m.next:
-		m.dups.Add(1)
-		return nil
-	case n > m.next:
-		if _, dup := m.pending[n]; dup {
-			m.dups.Add(1)
-			return nil
+	// A record more than a window ahead of the head means the gap at the
+	// head will never be filled: every replica that carried [next, lo)
+	// is gone. Skip forward so the stream keeps flowing, and repair the
+	// scope structure across the hole.
+	for n > m.next && n-m.next > uint64(m.window) {
+		lo := n
+		if m.nring > 0 {
+			lo = m.minPendingLocked()
 		}
-		m.pending[n] = r
-		m.depth.Store(int64(len(m.pending)))
-		if len(m.pending) <= m.window {
-			return nil
-		}
-		// The window is saturated behind a gap no live leg will fill:
-		// every replica that carried [next, lo) is gone. Skip forward so
-		// the stream keeps flowing, and repair the scope structure across
-		// the hole.
-		lo := m.minPendingLocked()
 		m.skipped.Add(lo - m.next)
 		m.next = lo
 		if err := m.repairLocked(out); err != nil {
 			return err
 		}
+		if err := m.drainLocked(out); err != nil {
+			return err
+		}
+	}
+	switch {
+	case n < m.next:
+		m.dups.Add(1)
+		record.Release(r)
+		return nil
+	case n > m.next:
+		s := m.slot(n)
+		if m.ring[s] != nil {
+			// Within a window-bounded span the only way a slot is taken
+			// is by the same annotation: a duplicate copy from another
+			// leg.
+			m.dups.Add(1)
+			record.Release(r)
+			return nil
+		}
+		m.ring[s] = r
+		m.ringSeq[s] = n
+		m.nring++
+		m.depth.Store(int64(m.nring))
+		return nil
 	default: // n == m.next
 		if err := m.emitLocked(r, out); err != nil {
 			return err
@@ -293,12 +367,10 @@ func (m *Merger) ingest(r *record.Record, out pipeline.Emitter) error {
 // drainLocked emits consecutively buffered records starting at next.
 func (m *Merger) drainLocked(out pipeline.Emitter) error {
 	for {
-		r, ok := m.pending[m.next]
-		if !ok {
+		r := m.takeLocked(m.next)
+		if r == nil {
 			return nil
 		}
-		delete(m.pending, m.next)
-		m.depth.Store(int64(len(m.pending)))
 		if err := m.emitLocked(r, out); err != nil {
 			return err
 		}
@@ -313,6 +385,7 @@ func (m *Merger) drainLocked(out pipeline.Emitter) error {
 func (m *Merger) emitLocked(r *record.Record, out pipeline.Emitter) error {
 	if err := m.tracker.Observe(r); err != nil {
 		m.untagged.Add(1)
+		record.Release(r)
 		return nil
 	}
 	return out.Emit(r)
@@ -336,7 +409,7 @@ func (m *Merger) finishLocked(out pipeline.Emitter) {
 	if m.emitErr != nil {
 		return
 	}
-	for len(m.pending) > 0 {
+	for m.nring > 0 {
 		lo := m.minPendingLocked()
 		if lo > m.next {
 			m.skipped.Add(lo - m.next)
@@ -349,11 +422,17 @@ func (m *Merger) finishLocked(out pipeline.Emitter) {
 	_ = m.repairLocked(out)
 }
 
+// minPendingLocked returns the smallest buffered annotation; the caller
+// ensures the ring is non-empty. The scan is O(window) but runs only on
+// gap skips and shutdown, never in the steady state.
 func (m *Merger) minPendingLocked() uint64 {
 	var lo uint64
 	first := true
-	for n := range m.pending {
-		if first || n < lo {
+	for i, r := range m.ring {
+		if r == nil {
+			continue
+		}
+		if n := m.ringSeq[i]; first || n < lo {
 			lo, first = n, false
 		}
 	}

@@ -1,0 +1,205 @@
+package replica
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/record"
+)
+
+// countEmitter counts emissions without retaining records, matching a
+// recycling merger's ownership contract.
+type countEmitter struct {
+	n    int
+	seqs []uint64
+}
+
+func (c *countEmitter) Emit(r *record.Record) error {
+	c.n++
+	if c.seqs != nil {
+		if _, seq, ok := record.ReplicaTag(r, record.ReplicaStreamID("g")); ok {
+			c.seqs = append(c.seqs, seq)
+		}
+	}
+	return nil
+}
+
+func ringMerger(t *testing.T, window int) *Merger {
+	t.Helper()
+	m, err := NewMerger(MergerConfig{Group: "g", ListenAddr: "127.0.0.1:0", Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	return m
+}
+
+func tagged(n uint64) *record.Record {
+	r := record.NewData(record.SubtypeAudio)
+	r.SetFloat64s([]float64{float64(n)})
+	record.TagReplica(r, record.ReplicaStreamID("g"), 1, n)
+	return r
+}
+
+// TestMergerRingReorder drives the ring buffer directly: out-of-order
+// arrivals within the window come out in order, duplicates are absorbed
+// whether behind the head or parked in the ring, and the depth gauge
+// tracks occupancy.
+func TestMergerRingReorder(t *testing.T) {
+	m := ringMerger(t, 8)
+	sink := &countEmitter{seqs: []uint64{}}
+	feed := func(n uint64) {
+		if err := m.ingest(tagged(n), sink); err != nil {
+			t.Fatalf("ingest %d: %v", n, err)
+		}
+	}
+	// 2 and 4 arrive twice while parked; 1 releases the drain.
+	for _, n := range []uint64{0, 2, 4, 3, 2, 4, 1} {
+		feed(n)
+	}
+	// 0 emitted; 2,4,3 parked then drained by 1: order 0,1,2,3,4.
+	want := []uint64{0, 1, 2, 3, 4}
+	if len(sink.seqs) != len(want) {
+		t.Fatalf("emitted %v, want %v", sink.seqs, want)
+	}
+	for i, s := range sink.seqs {
+		if s != want[i] {
+			t.Fatalf("emitted %v, want %v", sink.seqs, want)
+		}
+	}
+	if m.Dups() == 0 {
+		t.Fatal("duplicates not counted")
+	}
+	if d, _ := m.QueueDepth(); d != 0 {
+		t.Fatalf("ring depth %d after drain, want 0", d)
+	}
+}
+
+// TestMergerRingDupInWindow pins the ring's slot-probe dedup: a second
+// copy of a parked record is discarded without disturbing the parked one.
+func TestMergerRingDupInWindow(t *testing.T) {
+	m := ringMerger(t, 8)
+	sink := &countEmitter{}
+	_ = m.ingest(tagged(0), sink)
+	_ = m.ingest(tagged(3), sink) // parked
+	dupsBefore := m.Dups()
+	_ = m.ingest(tagged(3), sink) // duplicate of the parked copy
+	if m.Dups() != dupsBefore+1 {
+		t.Fatalf("dup in window not counted: %d", m.Dups())
+	}
+	m.mu.Lock()
+	parked := m.bufferedLocked(3)
+	m.mu.Unlock()
+	if parked == nil {
+		t.Fatal("parked record lost to its duplicate")
+	}
+	if v, err := parked.Float64s(); err != nil || v[0] != 3 {
+		t.Fatalf("parked record corrupted: %v %v", v, err)
+	}
+}
+
+// TestMergerRingGapSkip pins the span-based skip: a record arriving more
+// than a window ahead of the head abandons the unfillable gap, keeps the
+// buffered survivors, and the stream continues from there.
+func TestMergerRingGapSkip(t *testing.T) {
+	m := ringMerger(t, 4)
+	sink := &countEmitter{seqs: []uint64{}}
+	_ = m.ingest(tagged(0), sink) // head: next=1
+	_ = m.ingest(tagged(3), sink) // parked
+	// 9 is more than a window ahead of the head: the merger skips to the
+	// buffered survivor (3, abandoning 1-2), and — 9 still being out of
+	// span — on to 9 itself (abandoning 4-8): 7 sequence numbers lost.
+	_ = m.ingest(tagged(9), sink)
+	if m.Skipped() != 7 {
+		t.Fatalf("skipped=%d, want 7 (seqs 1,2,4..8)", m.Skipped())
+	}
+	// A straggler from the abandoned span is a late duplicate now.
+	_ = m.ingest(tagged(4), sink)
+	if m.Dups() != 1 {
+		t.Fatalf("straggler not discarded: dups=%d", m.Dups())
+	}
+	want := []uint64{0, 3, 9}
+	if len(sink.seqs) != len(want) {
+		t.Fatalf("emitted %v, want %v", sink.seqs, want)
+	}
+	for i, s := range sink.seqs {
+		if s != want[i] {
+			t.Fatalf("emitted %v, want %v", sink.seqs, want)
+		}
+	}
+	// An empty ring skips straight to the arrival.
+	m2 := ringMerger(t, 4)
+	sink2 := &countEmitter{seqs: []uint64{}}
+	_ = m2.ingest(tagged(0), sink2)
+	_ = m2.ingest(tagged(100), sink2)
+	if m2.Skipped() != 99 {
+		t.Fatalf("skipped=%d, want 99", m2.Skipped())
+	}
+	if len(sink2.seqs) != 2 || sink2.seqs[1] != 100 {
+		t.Fatalf("emitted %v, want [0 100]", sink2.seqs)
+	}
+}
+
+// TestMergerRingLateDuplicate pins the uint64 ordering guard: a stale
+// duplicate far behind the head must be discarded, not wrap the span
+// arithmetic and drag the head backwards.
+func TestMergerRingLateDuplicate(t *testing.T) {
+	m := ringMerger(t, 4)
+	sink := &countEmitter{}
+	for n := uint64(0); n < 20; n++ {
+		_ = m.ingest(tagged(n), sink)
+	}
+	_ = m.ingest(tagged(2), sink) // far behind the head
+	if m.Dups() != 1 {
+		t.Fatalf("late duplicate not counted: dups=%d", m.Dups())
+	}
+	if m.Skipped() != 0 {
+		t.Fatalf("late duplicate corrupted skip accounting: skipped=%d", m.Skipped())
+	}
+	if sink.n != 20 {
+		t.Fatalf("emitted %d, want 20", sink.n)
+	}
+}
+
+// TestMergerIngestZeroAlloc pins the steady-state merge cost: in-order
+// ingest through the ring performs no per-record allocation (the dedup
+// probe is two array reads, not map churn).
+func TestMergerIngestZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; pooled paths allocate by design")
+	}
+	m := ringMerger(t, 64)
+	sink := &countEmitter{}
+	// Pre-tag the records outside the measured loop; ingest consumes
+	// them in order.
+	const batch = 128
+	recs := make([]*record.Record, batch)
+	var next uint64
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := range recs {
+			recs[i] = tagged(next)
+			next++
+		}
+		for _, r := range recs {
+			if err := m.ingest(r, sink); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// Each run allocates its input records (tagged: record+payload+tag
+	// bookkeeping); ingest itself must add nothing per record. Measure
+	// against the record-construction-only baseline.
+	baseline := testing.AllocsPerRun(20, func() {
+		for i := range recs {
+			recs[i] = tagged(next)
+			next++
+		}
+	})
+	if perRecord := (allocs - baseline) / batch; perRecord > 0.05 {
+		t.Fatalf("ingest allocates %.3f/record beyond construction (run=%.0f baseline=%.0f)",
+			perRecord, allocs, baseline)
+	}
+	_ = sink.n
+}
+
+var _ pipeline.Emitter = (*countEmitter)(nil)

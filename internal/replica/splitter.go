@@ -152,6 +152,10 @@ func (s *Splitter) LegDrops() uint64 { return s.drops.Load() }
 // set changes or the splitter closes. A wake-and-retry may re-enqueue
 // the record on a leg that already had it; the merger's dedup absorbs
 // that.
+//
+// Each leg receives its own pool-backed copy of the record (released by
+// the leg writer once flushed to the wire), so Consume never retains the
+// caller's record: the splitter composes with pooled upstream sources.
 func (s *Splitter) Consume(r *record.Record) error {
 	s.mu.Lock()
 	if s.closed {
@@ -177,10 +181,12 @@ retry:
 		accepted := 0
 		var waiting []*leg
 		for _, l := range ls {
+			c := record.GetCopy(r)
 			select {
-			case l.q <- r:
+			case l.q <- c:
 				accepted++
 			default:
+				record.Release(c)
 				waiting = append(waiting, l)
 			}
 		}
@@ -214,19 +220,30 @@ func (s *Splitter) legsLocked() ([]*leg, chan struct{}) {
 	return ls, s.legsChanged
 }
 
-// blockOnLegs waits until one of the waiting legs accepts r (returning
-// its index), the leg set changes (-1), or the splitter closes (error).
+// blockOnLegs waits until one of the waiting legs accepts a copy of r
+// (returning its index), the leg set changes (-1), or the splitter closes
+// (error). Each pending send offers its own pooled copy; the copies the
+// select does not choose go straight back to the pool. This path — and
+// its reflect scaffolding — runs only when the group is degraded enough
+// to owe backpressure, never in the steady state.
 func (s *Splitter) blockOnLegs(r *record.Record, waiting []*leg, changed chan struct{}) (int, error) {
 	cases := make([]reflect.SelectCase, 0, len(waiting)+2)
-	for _, l := range waiting {
+	clones := make([]*record.Record, len(waiting))
+	for i, l := range waiting {
+		clones[i] = record.GetCopy(r)
 		cases = append(cases, reflect.SelectCase{
-			Dir: reflect.SelectSend, Chan: reflect.ValueOf(l.q), Send: reflect.ValueOf(r),
+			Dir: reflect.SelectSend, Chan: reflect.ValueOf(l.q), Send: reflect.ValueOf(clones[i]),
 		})
 	}
 	changedIdx := len(cases)
 	cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(changed)})
 	cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(s.quit)})
 	chosen, _, _ := reflect.Select(cases)
+	for i, c := range clones {
+		if i != chosen {
+			record.Release(c)
+		}
+	}
 	switch {
 	case chosen < changedIdx:
 		return chosen, nil
@@ -342,7 +359,10 @@ func (l *leg) run() {
 		case <-l.stop:
 			return
 		case r := <-l.q:
+			// StreamOut encodes synchronously, so the leg's copy can go
+			// back to the pool as soon as Consume returns.
 			_ = l.out.Consume(r)
+			record.Release(r)
 		}
 	}
 }

@@ -373,6 +373,9 @@ func (a *Agent) hostSplitter(msg *Message) (string, error) {
 		return "", err
 	}
 	in.QueueSize = a.node.QueueSize
+	// The splitter clones per leg and never retains its input, so the
+	// front can decode into pooled records.
+	in.Pooled = true
 	split := replica.NewSplitter(replica.SplitterConfig{
 		Group: msg.Group,
 		Epoch: msg.Epoch,
@@ -391,6 +394,9 @@ func (a *Agent) hostMerger(msg *Message) (string, error) {
 	merge, err := replica.NewMerger(replica.MergerConfig{
 		Group:      msg.Group,
 		ListenAddr: net.JoinHostPort(a.ListenHost, "0"),
+		// The downstream is a streamout, which encodes synchronously and
+		// never retains records, so the merger can recycle them.
+		Pooled: true,
 	})
 	if err != nil {
 		return "", err

@@ -58,6 +58,14 @@ func PAA(series []float64, w int) ([]float64, error) {
 // paa operator applies to spectral records (the paper reduces 1050-feature
 // patterns to 105 with factor 10).
 func PAAReduce(series []float64, factor int) ([]float64, error) {
+	return PAAReduceInto(nil, series, factor)
+}
+
+// PAAReduceInto appends the reduction of series to dst (which may be nil)
+// and returns the extended slice. Reusing dst (e.g. buf[:0]) makes the
+// reduction allocation-free, which is what the pipeline's paa operator
+// does per record.
+func PAAReduceInto(dst, series []float64, factor int) ([]float64, error) {
 	if len(series) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -65,12 +73,9 @@ func PAAReduce(series []float64, factor int) ([]float64, error) {
 		return nil, ErrBadSegments
 	}
 	if factor == 1 {
-		out := make([]float64, len(series))
-		copy(out, series)
-		return out, nil
+		return append(dst, series...), nil
 	}
 	w := (len(series) + factor - 1) / factor
-	out := make([]float64, w)
 	for j := 0; j < w; j++ {
 		lo := j * factor
 		hi := lo + factor
@@ -81,7 +86,7 @@ func PAAReduce(series []float64, factor int) ([]float64, error) {
 		for _, x := range series[lo:hi] {
 			s += x
 		}
-		out[j] = s / float64(hi-lo)
+		dst = append(dst, s/float64(hi-lo))
 	}
-	return out, nil
+	return dst, nil
 }

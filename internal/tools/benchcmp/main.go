@@ -1,15 +1,34 @@
-// Command benchcmp compares two `go test -json` benchmark outputs and
-// fails (exit 1) when the head run regresses a named benchmark's
-// records/sec metric beyond a threshold. CI's bench-smoke job uses it to
-// gate the streamout throughput benchmark against the base commit:
+// Command benchcmp compares `go test -json` benchmark outputs and fails
+// (exit 1) when the head run regresses a benchmark metric beyond a
+// threshold. Gates are direction-aware: units suffixed "/op" (ns/op,
+// B/op, allocs/op) regress by going up, throughput units (records/sec)
+// by going down. CI's bench-smoke job uses it three ways:
+//
+// Gate one benchmark against a base-commit run:
 //
 //	go run ./internal/tools/benchcmp \
 //	    -bench BenchmarkStreamOutThroughput/batch-64 \
 //	    -max-regress 0.20 BENCH_base.json BENCH_pr.json
 //
-// Each input may contain multiple runs of the benchmark (-count > 1); the
-// best run on each side is compared, which damps scheduler noise on
-// shared CI machines.
+// Gate several NAME:UNIT specs at once (same base/head files):
+//
+//	go run ./internal/tools/benchcmp \
+//	    -gates 'BenchmarkStreamOutThroughput/batch-64:records/sec,BenchmarkStreamOutThroughput/batch-64:allocs/op' \
+//	    -max-regress 0.20 BENCH_base.json BENCH_pr.json
+//
+// Gate against the committed history instead of a base run (-gate-history
+// compares HEAD.json to the most recent history entry carrying each
+// spec, so a PR is measured against the trajectory the repo has already
+// accepted, not just a possibly-noisy base re-run):
+//
+//	go run ./internal/tools/benchcmp \
+//	    -gate-history BENCH_history.json \
+//	    -gates 'BenchmarkMergerDedupThroughput:records/sec' \
+//	    -max-regress 0.20 BENCH_head.json
+//
+// Each input may contain multiple runs of a benchmark (-count > 1); the
+// best run on each side is compared (lowest for */op units, highest
+// otherwise), which damps scheduler noise on shared CI machines.
 //
 // With -append-history the tool records instead of gates: it extracts the
 // named benchmarks from the given result files and appends one labeled
@@ -39,10 +58,15 @@ type testEvent struct {
 	Output string `json:"Output"`
 }
 
+// lowerIsBetter reports the regression direction for a unit: per-op cost
+// units regress upward, throughput units downward.
+func lowerIsBetter(unit string) bool { return strings.HasSuffix(unit, "/op") }
+
 // bestMetric scans a `go test -json` file for result lines of the named
-// benchmark and returns the best (highest) value of the given unit.
-// test2json splits one benchmark result line across several output
-// events, so the output stream is reassembled before parsing.
+// benchmark and returns the best value of the given unit — lowest for
+// */op units, highest otherwise. test2json splits one benchmark result
+// line across several output events, so the output stream is reassembled
+// before parsing.
 func bestMetric(path, bench, unit string) (float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -64,7 +88,8 @@ func bestMetric(path, bench, unit string) (float64, error) {
 	if err := sc.Err(); err != nil {
 		return 0, err
 	}
-	best := -1.0
+	lower := lowerIsBetter(unit)
+	best, found := 0.0, false
 	for _, line := range strings.Split(text.String(), "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 3 || !strings.HasPrefix(fields[0], bench) {
@@ -80,20 +105,104 @@ func bestMetric(path, bench, unit string) (float64, error) {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
-			if err == nil && v > best {
-				best = v
+			if err != nil {
+				continue
+			}
+			if !found || (lower && v < best) || (!lower && v > best) {
+				best, found = v, true
 			}
 		}
 	}
-	if best < 0 {
+	if !found {
 		return 0, fmt.Errorf("%s: no %q result with unit %q", path, bench, unit)
 	}
 	return best, nil
 }
 
+// spec is one NAME:UNIT gate or record target.
+type spec struct {
+	name, unit string
+}
+
+// parseSpecs splits a comma-separated NAME:UNIT list; a bare NAME
+// defaults to records/sec.
+func parseSpecs(s string) []spec {
+	var out []spec
+	for _, raw := range strings.Split(s, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		name, unit := raw, "records/sec"
+		if colon := strings.LastIndexByte(raw, ':'); colon >= 0 {
+			name, unit = raw[:colon], raw[colon+1:]
+		}
+		out = append(out, spec{name, unit})
+	}
+	return out
+}
+
+// gate compares head against base in the unit's regression direction and
+// returns a failure message when the change exceeds the budget. A zero
+// base in a lower-is-better unit (e.g. 0 allocs/op) is an exact bar: any
+// head above the absolute slack of one whole unit fails, because the
+// relative budget of zero is zero.
+func gate(s spec, base, head, maxRegress float64) (string, bool) {
+	var change float64
+	if base != 0 {
+		change = head/base - 1
+	}
+	line := fmt.Sprintf("%s %s: base=%g head=%g (%+.1f%%)", s.name, s.unit, base, head, change*100)
+	if lowerIsBetter(s.unit) {
+		limit := base * (1 + maxRegress)
+		if base == 0 {
+			limit = 0
+		}
+		if head > limit {
+			return line, false
+		}
+		return line, true
+	}
+	if head < base*(1-maxRegress) {
+		return line, false
+	}
+	return line, true
+}
+
+// runGates applies every spec against the base/head metric lookups,
+// printing one line per spec, and reports whether all passed. missing is
+// called with the spec when the base side lacks it.
+func runGates(specs []spec, baseOf func(spec) (float64, error), headOf func(spec) (float64, error), maxRegress float64, allowMissingBase bool) bool {
+	ok := true
+	for _, s := range specs {
+		base, err := baseOf(s)
+		if err != nil {
+			if allowMissingBase {
+				fmt.Printf("no base result for %s:%s (%v); skipping\n", s.name, s.unit, err)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "benchcmp: base:", err)
+			os.Exit(2)
+		}
+		head, err := headOf(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp: head:", err)
+			os.Exit(2)
+		}
+		line, pass := gate(s, base, head, maxRegress)
+		if pass {
+			fmt.Println(line, "OK")
+		} else {
+			fmt.Println(line, "FAIL: regression exceeds the budget")
+			ok = false
+		}
+	}
+	return ok
+}
+
 // historyEntry is one labeled benchmark snapshot in the history file.
 type historyEntry struct {
-	Label   string                   `json:"label"`
+	Label   string                  `json:"label"`
 	Results map[string]historyPoint `json:"results"`
 }
 
@@ -102,48 +211,67 @@ type historyPoint struct {
 	Value float64 `json:"value"`
 }
 
+// readHistory parses the JSON history array at path (empty or missing is
+// an empty history).
+func readHistory(path string) ([]historyEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil || len(raw) == 0 {
+		return nil, nil
+	}
+	var history []historyEntry
+	if err := json.Unmarshal(raw, &history); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return history, nil
+}
+
+// historyBaseline returns the most recent history value for the spec,
+// scanning from the newest entry backwards. Entries may record a
+// benchmark under several units, so the key is NAME and the unit must
+// match.
+func historyBaseline(history []historyEntry, s spec) (float64, error) {
+	key := s.name + ":" + s.unit
+	for i := len(history) - 1; i >= 0; i-- {
+		if p, ok := history[i].Results[key]; ok && p.Unit == s.unit {
+			return p.Value, nil
+		}
+		// Older entries recorded bare names for records/sec-era specs.
+		if p, ok := history[i].Results[s.name]; ok && p.Unit == s.unit {
+			return p.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("no history entry for %s with unit %s", s.name, s.unit)
+}
+
 // appendHistory extracts each NAME:UNIT pair in benches from the result
-// files (best value across all of them; "best" is lowest for */op units,
-// highest otherwise) and appends one labeled entry to the JSON array at
-// path. Benchmarks absent from every file are noted and skipped, so a
-// history append never fails a CI run over a renamed benchmark.
+// files (best value across all of them) and appends one labeled entry to
+// the JSON array at path. Benchmarks absent from every file are noted and
+// skipped, so a history append never fails a CI run over a renamed
+// benchmark. Results are keyed NAME:UNIT so one benchmark can be tracked
+// in several units (throughput and allocs) side by side.
 func appendHistory(path, label, benches string, files []string) error {
 	entry := historyEntry{Label: label, Results: map[string]historyPoint{}}
-	for _, spec := range strings.Split(benches, ",") {
-		spec = strings.TrimSpace(spec)
-		if spec == "" {
-			continue
-		}
-		name, unit := spec, "records/sec"
-		if colon := strings.LastIndexByte(spec, ':'); colon >= 0 {
-			name, unit = spec[:colon], spec[colon+1:]
-		}
-		lowerIsBetter := strings.HasSuffix(unit, "/op")
+	for _, s := range parseSpecs(benches) {
 		best, found := 0.0, false
+		lower := lowerIsBetter(s.unit)
 		for _, f := range files {
-			v, err := bestMetric(f, name, unit)
+			v, err := bestMetric(f, s.name, s.unit)
 			if err != nil {
 				continue
 			}
-			// bestMetric returns the highest run; for */op units the
-			// lowest run across files is still the one we want, and
-			// within one file highest-vs-lowest differs by scheduler
-			// noise only — acceptable for a trajectory record.
-			if !found || (lowerIsBetter && v < best) || (!lowerIsBetter && v > best) {
+			if !found || (lower && v < best) || (!lower && v > best) {
 				best, found = v, true
 			}
 		}
 		if !found {
-			fmt.Printf("history: no %q result with unit %q in %v; skipping\n", name, unit, files)
+			fmt.Printf("history: no %q result with unit %q in %v; skipping\n", s.name, s.unit, files)
 			continue
 		}
-		entry.Results[name] = historyPoint{Unit: unit, Value: best}
+		entry.Results[s.name+":"+s.unit] = historyPoint{Unit: s.unit, Value: best}
 	}
-	var history []historyEntry
-	if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
-		if err := json.Unmarshal(raw, &history); err != nil {
-			return fmt.Errorf("parse %s: %w", path, err)
-		}
+	history, err := readHistory(path)
+	if err != nil {
+		return err
 	}
 	history = append(history, entry)
 	raw, err := json.MarshalIndent(history, "", "  ")
@@ -159,10 +287,12 @@ func appendHistory(path, label, benches string, files []string) error {
 }
 
 func main() {
-	bench := flag.String("bench", "", "benchmark name to compare (required)")
-	unit := flag.String("unit", "records/sec", "metric unit to compare (higher is better)")
+	bench := flag.String("bench", "", "benchmark name to compare")
+	unit := flag.String("unit", "records/sec", "metric unit for -bench (direction inferred from the unit)")
+	gates := flag.String("gates", "", "comma-separated NAME:UNIT specs to gate together")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional regression")
-	allowMissingBase := flag.Bool("allow-missing-base", false, "exit 0 when the base file lacks the benchmark (a pre-benchmark base commit)")
+	allowMissingBase := flag.Bool("allow-missing-base", false, "exit 0 for specs the base side lacks (a pre-benchmark base commit or unseeded history)")
+	gateHistory := flag.String("gate-history", "", "gate mode: JSON history file to use as the base side (head is the single RESULTS.json argument)")
 	historyPath := flag.String("append-history", "", "append mode: path of the JSON history array to append to")
 	label := flag.String("label", "", "append mode: label for the appended entry (e.g. a commit SHA)")
 	benches := flag.String("benches", "", "append mode: comma-separated NAME:UNIT pairs to record")
@@ -178,29 +308,40 @@ func main() {
 		}
 		return
 	}
-	if *bench == "" || flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp -bench NAME [-unit U] [-max-regress F] BASE.json HEAD.json")
-		os.Exit(2)
+	specs := parseSpecs(*gates)
+	if *bench != "" {
+		specs = append(specs, spec{*bench, *unit})
 	}
-	base, err := bestMetric(flag.Arg(0), *bench, *unit)
-	if err != nil {
-		if *allowMissingBase {
-			fmt.Printf("no base result for %s (%v); skipping comparison\n", *bench, err)
-			os.Exit(0)
+	if *gateHistory != "" {
+		if len(specs) == 0 || flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchcmp -gate-history HISTORY.json -gates 'NAME:UNIT,...' HEAD.json")
+			os.Exit(2)
 		}
-		fmt.Fprintln(os.Stderr, "benchcmp: base:", err)
+		history, err := readHistory(*gateHistory)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		head := flag.Arg(0)
+		ok := runGates(specs,
+			func(s spec) (float64, error) { return historyBaseline(history, s) },
+			func(s spec) (float64, error) { return bestMetric(head, s.name, s.unit) },
+			*maxRegress, *allowMissingBase)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if len(specs) == 0 || flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-bench NAME -unit U | -gates 'NAME:UNIT,...'] [-max-regress F] BASE.json HEAD.json")
 		os.Exit(2)
 	}
-	head, err := bestMetric(flag.Arg(1), *bench, *unit)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcmp: head:", err)
-		os.Exit(2)
-	}
-	change := head/base - 1
-	fmt.Printf("%s %s: base=%.0f head=%.0f (%+.1f%%)\n", *bench, *unit, base, head, change*100)
-	if head < base*(1-*maxRegress) {
-		fmt.Printf("FAIL: regression exceeds the %.0f%% budget\n", *maxRegress*100)
+	base, head := flag.Arg(0), flag.Arg(1)
+	ok := runGates(specs,
+		func(s spec) (float64, error) { return bestMetric(base, s.name, s.unit) },
+		func(s spec) (float64, error) { return bestMetric(head, s.name, s.unit) },
+		*maxRegress, *allowMissingBase)
+	if !ok {
 		os.Exit(1)
 	}
-	fmt.Println("OK")
 }

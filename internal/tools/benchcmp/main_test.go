@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeResults renders bench result lines as a minimal `go test -json`
+// stream.
+func writeResults(t *testing.T, dir, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var out []byte
+	for _, l := range lines {
+		ev, _ := json.Marshal(testEvent{Action: "output", Output: l + "\n"})
+		out = append(out, ev...)
+		out = append(out, '\n')
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBestMetricDirection(t *testing.T) {
+	dir := t.TempDir()
+	f := writeResults(t, dir, "r.json",
+		"BenchmarkFoo-8 100 250.0 ns/op 1200000 records/sec 3 allocs/op",
+		"BenchmarkFoo-8 100 200.0 ns/op 1000000 records/sec 5 allocs/op",
+	)
+	if v, err := bestMetric(f, "BenchmarkFoo", "ns/op"); err != nil || v != 200 {
+		t.Fatalf("ns/op best = %v, %v; want lowest 200", v, err)
+	}
+	if v, err := bestMetric(f, "BenchmarkFoo", "records/sec"); err != nil || v != 1200000 {
+		t.Fatalf("records/sec best = %v, %v; want highest 1200000", v, err)
+	}
+	if v, err := bestMetric(f, "BenchmarkFoo", "allocs/op"); err != nil || v != 3 {
+		t.Fatalf("allocs/op best = %v, %v; want lowest 3", v, err)
+	}
+	if _, err := bestMetric(f, "BenchmarkBar", "ns/op"); err == nil {
+		t.Fatal("missing benchmark did not error")
+	}
+}
+
+func TestGateDirections(t *testing.T) {
+	cases := []struct {
+		unit       string
+		base, head float64
+		pass       bool
+	}{
+		{"records/sec", 1000, 850, true},  // -15% throughput: within budget
+		{"records/sec", 1000, 700, false}, // -30% throughput: fail
+		{"records/sec", 1000, 2000, true}, // improvement
+		{"ns/op", 100, 110, true},         // +10% cost: within budget
+		{"ns/op", 100, 130, false},        // +30% cost: fail
+		{"ns/op", 100, 50, true},          // improvement
+		{"allocs/op", 0, 0, true},         // zero stays zero
+		{"allocs/op", 0, 1, false},        // zero-alloc path regressed
+		{"allocs/op", 10, 11, true},       // within budget
+		{"allocs/op", 10, 14, false},      // +40%: fail
+	}
+	for _, c := range cases {
+		_, pass := gate(spec{"B", c.unit}, c.base, c.head, 0.20)
+		if pass != c.pass {
+			t.Errorf("gate(%s base=%g head=%g) pass=%v, want %v", c.unit, c.base, c.head, pass, c.pass)
+		}
+	}
+}
+
+func TestHistoryRoundTripAndBaseline(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "hist.json")
+	f := writeResults(t, dir, "r.json",
+		"BenchmarkFoo-8 100 250.0 ns/op 1200000 records/sec 0 allocs/op",
+	)
+	specsArg := "BenchmarkFoo:records/sec,BenchmarkFoo:allocs/op"
+	if err := appendHistory(hist, "seed", specsArg, []string{f}); err != nil {
+		t.Fatal(err)
+	}
+	history, err := readHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 1 || history[0].Label != "seed" {
+		t.Fatalf("history = %+v", history)
+	}
+	v, err := historyBaseline(history, spec{"BenchmarkFoo", "records/sec"})
+	if err != nil || v != 1200000 {
+		t.Fatalf("baseline records/sec = %v, %v", v, err)
+	}
+	v, err = historyBaseline(history, spec{"BenchmarkFoo", "allocs/op"})
+	if err != nil || v != 0 {
+		t.Fatalf("baseline allocs/op = %v, %v", v, err)
+	}
+	if _, err := historyBaseline(history, spec{"BenchmarkGone", "ns/op"}); err == nil {
+		t.Fatal("missing spec did not error")
+	}
+	// A second append accumulates; the newest entry wins as baseline.
+	f2 := writeResults(t, dir, "r2.json",
+		"BenchmarkFoo-8 100 250.0 ns/op 1500000 records/sec 0 allocs/op",
+	)
+	if err := appendHistory(hist, "pr", specsArg, []string{f2}); err != nil {
+		t.Fatal(err)
+	}
+	history, err = readHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("history length %d, want 2", len(history))
+	}
+	if v, _ := historyBaseline(history, spec{"BenchmarkFoo", "records/sec"}); v != 1500000 {
+		t.Fatalf("newest baseline = %v, want 1500000", v)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs := parseSpecs("A:ns/op, B ,C:allocs/op,")
+	want := []spec{{"A", "ns/op"}, {"B", "records/sec"}, {"C", "allocs/op"}}
+	if fmt.Sprint(specs) != fmt.Sprint(want) {
+		t.Fatalf("parseSpecs = %v, want %v", specs, want)
+	}
+}

@@ -1,0 +1,87 @@
+package repro
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/record"
+)
+
+// TestBatchWriterFramingZeroAlloc pins the framing layer: once the batch
+// buffer has grown to its working size, encoding a record into a batch
+// performs no allocation at all.
+func TestBatchWriterFramingZeroAlloc(t *testing.T) {
+	bw := record.NewBatchWriter(io.Discard, record.DefaultBatchConfig())
+	r := record.NewData(record.SubtypeAudio)
+	samples := make([]int16, 32)
+	r.SetPCM16(samples)
+	// Warm: grow the batch buffer through a few full batches.
+	for i := 0; i < 256; i++ {
+		if err := bw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Seq++
+		if err := bw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("BatchWriter.Write allocates %.2f/record, want 0", allocs)
+	}
+}
+
+// TestStreamOutConsumeZeroAlloc pins the full send hot path over live
+// TCP: batching Consume calls — including the flushes they trigger —
+// allocate nothing per record in the steady state.
+func TestStreamOutConsumeZeroAlloc(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_, _ = io.Copy(io.Discard, conn)
+			conn.Close()
+		}
+	}()
+	cfg := record.DefaultBatchConfig()
+	cfg.MaxDelay = 0 // no timer churn: flush purely by batch occupancy
+	out := pipeline.NewStreamOutBatched(ln.Addr().String(), cfg)
+	r := record.NewData(record.SubtypeAudio)
+	samples := make([]int16, 32)
+	r.SetPCM16(samples)
+	// Warm: dial the connection and grow the batch buffer.
+	for i := 0; i < 512; i++ {
+		if err := out.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 128; i++ { // two full batches per run
+			r.Seq++
+			if err := out.Consume(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	out.Close()
+	ln.Close()
+	<-drained
+	if perRecord := allocs / 128; perRecord > 0.01 {
+		t.Fatalf("StreamOut.Consume allocates %.3f/record (%.0f/run), want 0", perRecord, allocs)
+	}
+}
