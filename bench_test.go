@@ -27,6 +27,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/meso"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/pipeline"
 	"repro/internal/record"
@@ -399,6 +400,58 @@ func BenchmarkBatchWriterFraming(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkLatencyTraceObserve measures the data-plane latency tracing
+// hot path: a record stamped at ingest folded into the lock-free unit
+// histogram, and — in the probe variant — a trace probe additionally
+// folded into the end-to-end histogram. Both run per record inside every
+// hosted segment's sink stage, so allocs/op is gated at zero alongside
+// the transport benchmarks: tracing must never reintroduce per-record
+// allocation on the pooled path.
+func BenchmarkLatencyTraceObserve(b *testing.B) {
+	b.Run("record", func(b *testing.B) {
+		tr := pipeline.NewLatencyTracer(obs.NewRegistry(), "bench")
+		r := record.NewData(record.SubtypeAudio)
+		r.SetPCM16(make([]int16, 32))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.IngressNanos = time.Now().UnixNano()
+			tr.Observe(r)
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		tr := pipeline.NewLatencyTracer(obs.NewRegistry(), "bench")
+		p := record.NewTraceProbe(time.Now().UnixNano())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := time.Now().UnixNano()
+			record.FillTraceProbe(p, now)
+			p.IngressNanos = now // probes take both the unit and e2e paths
+			tr.Observe(p)
+		}
+	})
+}
+
+// BenchmarkLatencyQuantile measures the scrape-side cost of one quantile
+// estimate over a populated latency histogram — the price of exposing
+// p50/p95/p99 per unit on /metrics and in heartbeats.
+func BenchmarkLatencyQuantile(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("bench_latency_seconds", obs.LatencyBuckets)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100000; i++ {
+		h.Observe(rng.ExpFloat64() * 0.005)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q := h.Quantile(0.99); q <= 0 {
+			b.Fatal("empty quantile")
+		}
 	}
 }
 

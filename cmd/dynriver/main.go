@@ -104,13 +104,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dynriver station (-to HOST:PORT | -coord HOST:PORT [-pipeline ID]) [-clips N] [-seed S] [-seconds SEC] [-batch N]
-  dynriver segment -type extract|spectral|full -listen ADDR -to HOST:PORT
+  dynriver station (-to HOST:PORT | -coord HOST:PORT [-pipeline ID]) [-clips N] [-seed S] [-seconds SEC] [-batch N] [-pace D] [-probes D]
+  dynriver segment -type extract|spectral|detect|slow|full -listen ADDR -to HOST:PORT
   dynriver sink -listen ADDR [-conns N]
   dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-pipelines N | -spec-file FILE]
                  [-replicas N] [-heartbeat D] [-timeout D] [-placer POLICY]
                  [-state DIR] [-grace D] [-disconnect-grace D] [-fsync=BOOL]
                  [-metrics-addr ADDR] [-monitor=BOOL]
+                 [-react observe|drain] [-dry-run] [-remediate-cooldown D] [-remediate-max N]
   dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N] [-retry N] [-retry-max D]
                 [-metrics-addr ADDR]
   dynriver status -coord HOST:PORT [-json] [-pipeline ID]
@@ -126,7 +127,11 @@ segments syntax: TYPE, NAME=TYPE, with an optional :N replica suffix
 (each needs its own station; all share the node pool); -spec-file names
 a JSON file holding an array of pipeline specs ({"id","segments":[{"name",
 "type","replicas"}],"sink_addr"}) for heterogeneous fleets
--metrics-addr serves Prometheus /metrics and /debug/pprof on ADDR`)
+-metrics-addr serves Prometheus /metrics and /debug/pprof on ADDR
+-react=drain auto-drains nodes the monitor flags anomalous (-dry-run to
+audit decisions first); station -probes injects latency trace probes;
+segment type "slow" delays records while $DYNRIVER_SLOW_FILE exists
+($DYNRIVER_SLOW_MS per record, default 25), "detect" raises change alerts`)
 }
 
 // builtinRegistry exposes the acoustic pipeline's segment types to both
@@ -142,6 +147,24 @@ func builtinRegistry() *pipeline.Registry {
 	})
 	reg.Register("spectral", func() []pipeline.Operator { return ops.SpectralOps(10) })
 	reg.Register("relay", func() []pipeline.Operator { return []pipeline.Operator{pipeline.Relay{}} })
+	reg.Register("detect", func() []pipeline.Operator {
+		det, err := ops.NewChangeDetect(ops.ChangeDetectConfig{})
+		if err != nil {
+			panic(err)
+		}
+		return []pipeline.Operator{det}
+	})
+	// "slow" is a relay whose per-record delay switches on while the file
+	// named by DYNRIVER_SLOW_FILE exists — a degradation lever for smoke
+	// tests and demos: touch the file to make whichever node hosts the
+	// segment anomalous, remove it to recover.
+	reg.Register("slow", func() []pipeline.Operator {
+		delay := 25 * time.Millisecond
+		if ms, err := strconv.Atoi(os.Getenv("DYNRIVER_SLOW_MS")); err == nil && ms > 0 {
+			delay = time.Duration(ms) * time.Millisecond
+		}
+		return []pipeline.Operator{&slowRelay{file: os.Getenv("DYNRIVER_SLOW_FILE"), delay: delay}}
+	})
 	reg.Register("full", func() []pipeline.Operator {
 		opsList, _, err := ops.ExtractionOps(ops.DefaultExtractConfig())
 		if err != nil {
@@ -150,6 +173,36 @@ func builtinRegistry() *pipeline.Registry {
 		return append(opsList, ops.SpectralOps(10)...)
 	})
 	return reg
+}
+
+// slowRelay passes records through, sleeping per record while its gate
+// file exists. The existence check is cached for 100ms so the hot path
+// stats the filesystem ten times a second, not per record.
+type slowRelay struct {
+	file  string
+	delay time.Duration
+
+	mu        sync.Mutex
+	lastCheck time.Time
+	active    bool
+}
+
+func (s *slowRelay) Name() string { return "slow" }
+
+func (s *slowRelay) Process(r *record.Record, out pipeline.Emitter) error {
+	if s.file != "" {
+		s.mu.Lock()
+		if time.Since(s.lastCheck) > 100*time.Millisecond {
+			_, err := os.Stat(s.file)
+			s.active, s.lastCheck = err == nil, time.Now()
+		}
+		active := s.active
+		s.mu.Unlock()
+		if active {
+			time.Sleep(s.delay)
+		}
+	}
+	return out.Emit(r)
 }
 
 // flushPolicy maps a -batch flag value to a record framing policy: <=1
@@ -174,6 +227,8 @@ func runStation(args []string) error {
 	seconds := fs.Float64("seconds", 10, "seconds per clip")
 	name := fs.String("name", "kbs-01", "station name")
 	batch := fs.Int("batch", 64, "records per streamout batch (<=1 writes per record)")
+	pace := fs.Duration("pace", 0, "sleep between records, approximating a live sensor (0 = stream flat-out)")
+	probes := fs.Duration("probes", 0, "interval between end-to-end latency trace probes (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -253,9 +308,13 @@ func runStation(args []string) error {
 	defer out.Close()
 
 	station := synth.NewStation(*name, *seed, synth.ClipConfig{Seconds: *seconds})
-	p := pipeline.New().
-		SetSource(&ops.StationSource{Station: station, ClipCount: *clips}).
-		SetSink(out)
+	var src pipeline.Source = &ops.StationSource{Station: station, ClipCount: *clips, Pace: *pace}
+	if *probes > 0 {
+		// Interleave timestamped trace probes with the clip stream; every
+		// tracing sink the probes pass reports origin-to-sink latency.
+		src = &pipeline.ProbeSource{Source: src, Interval: *probes}
+	}
+	p := pipeline.New().SetSource(src).SetSink(out)
 	fmt.Printf("station %s: sending %d clip(s) of %.0fs\n", *name, *clips, *seconds)
 	return p.Run(ctx)
 }
@@ -384,6 +443,10 @@ func runCoord(args []string) error {
 	fsync := fs.Bool("fsync", true, "group-commit fsync of journal entries (disable to trade a machine-crash durability window for zero fsync traffic)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
 	monitor := fs.Bool("monitor", true, "run the self-monitoring anomaly detectors over node telemetry")
+	react := fs.String("react", "observe", "what an anomaly triggers: observe (record only) or drain (pre-emptively drain the flagged node)")
+	remCooldown := fs.Duration("remediate-cooldown", time.Minute, "minimum spacing between remediations of the same node")
+	remMax := fs.Int("remediate-max", 1, "nodes remediated concurrently at most")
+	dryRun := fs.Bool("dry-run", false, "with -react=drain: log remediation decisions without executing the drains")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -433,7 +496,13 @@ func runCoord(args []string) error {
 		JournalNoFsync:    !*fsync,
 		MetricsAddr:       *metricsAddr,
 		Monitor:           river.MonitorConfig{Disabled: !*monitor},
-		Logf:              func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+		Remediate: river.RemediateConfig{
+			Mode:          *react,
+			DryRun:        *dryRun,
+			Cooldown:      *remCooldown,
+			MaxConcurrent: *remMax,
+		},
+		Logf: func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
 	})
 	if err != nil {
 		return err
@@ -672,6 +741,9 @@ func runEvents(args []string) error {
 			return
 		}
 		var parts []string
+		if e.Phase != "" {
+			parts = append(parts, "phase="+e.Phase)
+		}
 		if e.Pipeline != "" {
 			parts = append(parts, "pipeline="+e.Pipeline)
 		}
@@ -705,7 +777,42 @@ func runEvents(args []string) error {
 		}
 		return nil
 	}
-	return river.WatchEvents(interruptContext(), *coordAddr, *pipeID, *since, printEvent)
+	// Follow survives a coordinator bounce: on connection loss, reconnect
+	// with backoff and resume from the last sequence number seen, so no
+	// duplicates print. A restarted coordinator's in-memory event log
+	// restarts its sequence numbers, which would make a stale cursor
+	// suppress every fresh event — the epoch probe detects the new
+	// incarnation and resets the cursor instead.
+	ctx := interruptContext()
+	last := *since
+	var epoch uint64
+	if st, err := river.FetchStatus(*coordAddr, 5*time.Second); err == nil {
+		epoch = st.Epoch
+	}
+	backoff := time.Second
+	for {
+		err := river.WatchEvents(ctx, *coordAddr, *pipeID, last, func(e obs.Event) {
+			last = e.Seq
+			backoff = time.Second
+			printEvent(e)
+		})
+		if ctx.Err() != nil {
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "events: stream lost (%v); reconnecting in %s (resume after seq %d)\n", err, backoff, last)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil
+		}
+		if backoff *= 2; backoff > 15*time.Second {
+			backoff = 15 * time.Second
+		}
+		if st, err := river.FetchStatus(*coordAddr, 5*time.Second); err == nil && st.Epoch != epoch {
+			fmt.Fprintf(os.Stderr, "events: coordinator restarted (epoch %d -> %d); resetting resume cursor\n", epoch, st.Epoch)
+			epoch, last = st.Epoch, 0
+		}
+	}
 }
 
 // runDrain asks the coordinator for a planned zero-repair move of one

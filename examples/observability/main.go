@@ -1,18 +1,24 @@
-// Observability: demonstrates the self-monitoring layer end-to-end — a
+// Observability: demonstrates the self-monitoring loop end-to-end — a
 // 3-replica relay pipeline under sustained load, with the coordinator
 // serving Prometheus metrics and recording every control-plane
 // transition as a typed event. One replica node is artificially slowed
 // mid-stream: the coordinator's monitor (streaming z-score detectors
 // over the telemetry already carried in heartbeats) flags the degrading
 // node as an "anomaly" event while it is still alive — before failure
-// detection would notice — and the /metrics scrape shows its backlog.
-// The slowed node is then killed, and the event log replays the whole
-// history in order: register, place, anomaly, failover, replace. The
-// sink audits that every record still arrived exactly once.
+// detection would notice — and the /metrics scrape shows its backlog
+// and per-node latency quantiles. The remediation policy then *acts* on
+// the anomaly: it pre-emptively drains the flagged node (a zero-repair
+// boundary splice), narrating every decision as a typed "remediation"
+// event. By the time the degraded node is killed it hosts nothing, so
+// its death is a non-event — no failover, no repair. The event log
+// replays the whole history in order: register, place, anomaly,
+// remediation, drain, drained. The sink audits that every record still
+// arrived exactly once.
 //
 // The same stream is available against a real deployment via
-// `dynriver events` (and `dynriver coord -metrics-addr` for the
-// scrape); examples/anomaly shows the detector family offline.
+// `dynriver events` (and `dynriver coord -react=drain -metrics-addr`
+// for the live loop); examples/anomaly shows the detector family
+// offline.
 package main
 
 import (
@@ -67,6 +73,9 @@ func scrapeValue(scrape, series string) (string, bool) {
 
 func eventLine(e obs.Event) string {
 	parts := []string{}
+	if e.Phase != "" {
+		parts = append(parts, "phase="+e.Phase)
+	}
 	if e.Unit != "" {
 		parts = append(parts, "unit="+e.Unit)
 	}
@@ -75,7 +84,11 @@ func eventLine(e obs.Event) string {
 	}
 	if e.Metric != "" {
 		// Metric/Value/Score already say everything Detail repeats.
-		return fmt.Sprintf("%4d %-10s node=%s %s=%g z=%.1f", e.Seq, e.Type, e.Node, e.Metric, e.Value, e.Score)
+		phase := ""
+		if e.Phase != "" {
+			phase = " phase=" + e.Phase
+		}
+		return fmt.Sprintf("%4d %-10s%s node=%s %s=%g z=%.1f", e.Seq, e.Type, phase, e.Node, e.Metric, e.Value, e.Score)
 	}
 	if e.Detail != "" {
 		parts = append(parts, fmt.Sprintf("(%s)", e.Detail))
@@ -130,6 +143,7 @@ func main() {
 		HeartbeatInterval: 25 * time.Millisecond,
 		HeartbeatTimeout:  2 * time.Second,
 		MinNodes:          4,
+		DrainSettle:       150 * time.Millisecond,
 		MetricsAddr:       "127.0.0.1:0",
 		Monitor: river.MonitorConfig{
 			Interval:  150 * time.Millisecond,
@@ -137,6 +151,14 @@ func main() {
 			Warmup:    8,
 			Threshold: 6,
 			Cooldown:  time.Minute,
+		},
+		// The acted-on half: anomalies trigger a pre-emptive drain of
+		// the flagged node. MaxConcurrent 2 keeps a spurious blip on a
+		// neighbor from starving the real victim's drain.
+		Remediate: river.RemediateConfig{
+			Mode:          river.RemediateDrain,
+			Cooldown:      time.Minute,
+			MaxConcurrent: 2,
 		},
 	})
 	if err != nil {
@@ -199,8 +221,8 @@ func main() {
 	waitUntil("records flowing", 10*time.Second, func() bool { return received() >= 300 })
 	time.Sleep(1200 * time.Millisecond) // let the monitor baselines warm on healthy traffic
 
-	// Phase 2: degrade a replica-only node (its death is survivable, so
-	// the demo ends with a zero-loss audit) and wait for the monitor to
+	// Phase 2: degrade a replica-only node (replica legs are drainable;
+	// splitter/merger endpoints are not) and wait for the monitor to
 	// flag it. Failure detection must NOT have fired — the whole point is
 	// catching the node while it is still alive.
 	endpointNodes := map[string]bool{}
@@ -253,28 +275,61 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, gauge := range []string{"dynriver_node_queue_depth", "dynriver_node_queue_peak"} {
+	// (e2e quantiles need a probe source — `station -probes` — so only
+	// the per-unit latency gauge is live in this example.)
+	for _, gauge := range []string{
+		"dynriver_node_queue_depth", "dynriver_node_queue_peak",
+		"dynriver_node_latency_p99_seconds",
+	} {
 		series := fmt.Sprintf("%s{node=%q}", gauge, victim)
 		if v, ok := scrapeValue(string(body), series); ok {
 			fmt.Printf("phase 2: /metrics %s %s\n", series, v)
 		}
 	}
 
-	// Phase 3: the degraded node dies. The event log must record the
-	// failover and the replacement, in order, after the anomaly.
-	fmt.Printf("phase 3: killing %s\n", victim)
-	agents[victim].cancel()
-	<-agents[victim].done
-	delete(agents, victim)
-	waitUntil("re-converged to 3 replicas", 10*time.Second, func() bool {
+	// Phase 3: the remediation policy acts on the anomaly — triggered,
+	// started, then a zero-repair drain of the victim's unit. Failure
+	// detection must stay silent throughout: the node is slow, not dead.
+	var remStarted, drainedSeq uint64
+	waitUntil("remediation drain of "+victim, 20*time.Second, func() bool {
+		events, err := river.FetchEvents(coord.Addr(), "", 0, 5*time.Second)
+		if err != nil {
+			return false
+		}
+		for _, e := range events {
+			if e.Type == obs.EventFailover {
+				log.Fatalf("failure detection fired during remediation: %+v", e)
+			}
+			switch {
+			case e.Type == obs.EventRemediation && e.Phase == obs.RemPhaseStarted && e.Node == victim:
+				remStarted = e.Seq
+			case e.Type == obs.EventDrained && e.Unit == victimUnit:
+				drainedSeq = e.Seq
+			}
+		}
+		return remStarted != 0 && drainedSeq != 0
+	})
+	fmt.Printf("phase 3: remediation drained %s off %s %.0fms after throttling\n",
+		victimUnit, victim, time.Since(throttledAt).Seconds()*1000)
+	waitUntil("victim idle, 3 replicas elsewhere", 10*time.Second, func() bool {
 		alive := 0
 		for _, p := range coord.Status().Placements {
-			if p.Role == river.RoleReplica && p.Placed && p.Node != victim {
+			if p.Node == victim {
+				return false
+			}
+			if p.Role == river.RoleReplica && p.Placed {
 				alive++
 			}
 		}
 		return alive == 3
 	})
+
+	// Phase 4: the degraded node dies — hosting nothing. A pre-emptively
+	// drained node's death is a non-event: no failover, no repair.
+	fmt.Printf("phase 4: killing %s (now idle)\n", victim)
+	agents[victim].cancel()
+	<-agents[victim].done
+	delete(agents, victim)
 	post := received()
 	waitUntil("records flowing post-kill", 10*time.Second, func() bool { return received() >= post+300 })
 
@@ -295,18 +350,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nevent log replay:")
-	var failSeq, replSeq uint64
 	for _, e := range events {
 		fmt.Println("  " + eventLine(e))
-		if e.Type == obs.EventFailover && e.Node == victim && failSeq == 0 {
-			failSeq = e.Seq
-		}
-		if e.Type == obs.EventReplace && e.Unit == victimUnit && e.Node != victim {
-			replSeq = e.Seq
+		// No node holding units ever died, so any failover means the
+		// pre-emptive drain failed at its one job.
+		if e.Type == obs.EventFailover {
+			log.Fatalf("unexpected failover in history: %+v", e)
 		}
 	}
-	if failSeq == 0 || replSeq == 0 || anomaly.Seq >= failSeq || failSeq >= replSeq {
-		log.Fatalf("history out of order: anomaly=%d failover=%d replace=%d", anomaly.Seq, failSeq, replSeq)
+	if anomaly.Seq >= remStarted || remStarted >= drainedSeq {
+		log.Fatalf("history out of order: anomaly=%d remediation-started=%d drained=%d",
+			anomaly.Seq, remStarted, drainedSeq)
 	}
 
 	mu.Lock()
@@ -332,6 +386,7 @@ func main() {
 		<-a.done
 	}
 	coord.Close()
-	fmt.Println("\nobservability: the monitor flagged the degrading node before it died, " +
-		"and the event log told the whole story in order")
+	fmt.Println("\nobservability: the monitor flagged the degrading node, remediation " +
+		"drained it while still alive, and its death cost nothing — the event log " +
+		"told the whole story in order")
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,6 +54,30 @@ const (
 	// series as anomalous (Node, Metric, Value, Score) — typically before
 	// any failure detection fires.
 	EventAnomaly = "anomaly"
+	// EventRemediation: the remediation policy acted on — or deliberately
+	// declined to act on — an anomaly (Node, Phase is one of
+	// triggered/started/completed/suppressed, Detail the reason or the
+	// units moved).
+	EventRemediation = "remediation"
+	// EventAlert: a detector operator embedded in the data plane alarmed
+	// on the stream it processes (Unit, Node, Value is the alert-count
+	// delta since the last heartbeat).
+	EventAlert = "alert"
+)
+
+// Remediation phases carried in Event.Phase on EventRemediation events.
+const (
+	// RemPhaseTriggered: an anomaly passed the policy filters and a
+	// remediation was scheduled.
+	RemPhaseTriggered = "triggered"
+	// RemPhaseStarted: the drain of the flagged node's units began.
+	RemPhaseStarted = "started"
+	// RemPhaseCompleted: every drained unit settled on its new node.
+	RemPhaseCompleted = "completed"
+	// RemPhaseSuppressed: the policy declined to act (cooldown,
+	// concurrency cap, drain already in flight, observe/dry-run mode);
+	// Detail names the reason.
+	RemPhaseSuppressed = "suppressed"
 )
 
 // Event is one typed control-plane transition. The JSON schema is stable
@@ -83,15 +108,27 @@ type Event struct {
 	Score float64 `json:"score,omitempty"`
 	// Detail is free-form human context.
 	Detail string `json:"detail,omitempty"`
+	// Phase subdivides multi-step event types (remediation:
+	// triggered/started/completed/suppressed). Added in protocol v7;
+	// older decoders ignore it.
+	Phase string `json:"phase,omitempty"`
 }
 
 // Subscription is one live follower of an EventLog. Events are delivered
 // on C; when the subscriber cannot keep up the oldest undelivered events
 // are dropped (Dropped counts them) so appenders never block on a slow
-// consumer.
+// consumer. The bounded channel is the whole flow-control story: a
+// stalled follower costs the appender one failed non-blocking send, never
+// a wait.
 type Subscription struct {
 	C       chan Event
-	dropped uint64
+	dropped atomic.Uint64
+	// DropCounter, when set (before the first Append can race with it —
+	// i.e. between Subscribe and handing the subscription to a consumer),
+	// is additionally incremented on every dropped event, so slow-follower
+	// loss is visible on a metrics endpoint and not only to the follower
+	// itself.
+	DropCounter *Counter
 }
 
 // Dropped returns how many events this subscription missed to
@@ -101,7 +138,7 @@ func (s *Subscription) Dropped() uint64 {
 	if s == nil {
 		return 0
 	}
-	return s.dropped
+	return s.dropped.Load()
 }
 
 // EventLog is a bounded in-memory ring of control-plane events with
@@ -157,7 +194,8 @@ func (l *EventLog) Append(e Event) Event {
 		select {
 		case s.C <- e:
 		default:
-			s.dropped++
+			s.dropped.Add(1)
+			s.DropCounter.Inc()
 		}
 	}
 	l.mu.Unlock()

@@ -110,11 +110,65 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) from the
+// bucket counts, linearly interpolating inside the bucket the rank falls
+// in — the same estimate a Prometheus histogram_quantile would compute
+// from a scrape, available in-process. It returns 0 with no
+// observations; ranks in the overflow (+Inf) bucket clamp to the top
+// bound. The read is lock-free and may race concurrent Observes; the
+// estimate is still within one observation of exact.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (bound-lower)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	// The rank lands in the overflow bucket: there is no upper bound to
+	// interpolate toward, so report the top finite bound.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DefBuckets are the default histogram bounds, in seconds — tuned for
 // control-plane latencies (fsync, reconcile) from tens of microseconds to
 // seconds.
 var DefBuckets = []float64{
 	.00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5,
+}
+
+// LatencyBuckets are finer-grained bounds, in seconds, for data-plane
+// record latencies: per-unit ingest-to-sink times sit in the microsecond
+// range on an idle pipeline and climb through milliseconds as queues
+// build, so the low decades get extra resolution that DefBuckets lacks.
+var LatencyBuckets = []float64{
+	.000005, .00001, .000025, .00005, .0001, .00025, .0005, .001, .0025,
+	.005, .01, .025, .05, .1, .25, .5, 1, 2.5,
 }
 
 // family is one named metric and its label-distinguished series.

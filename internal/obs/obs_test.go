@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterGaugeHistogramRender(t *testing.T) {
@@ -110,6 +111,40 @@ func TestRegistryConcurrentHotPath(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile exercises the in-process quantile estimate:
+// interpolation inside a bucket, the empty histogram, and overflow
+// clamping to the top bound.
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %g", got)
+	}
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", []float64{1, 2, 4})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %g", got)
+	}
+	// 100 observations uniform in (0, 1]: p50 interpolates to ~0.5 inside
+	// the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); got < 0.4 || got > 0.6 {
+		t.Errorf("p50 = %g, want ~0.5", got)
+	}
+	if got := h.Quantile(1); got < 0.99 || got > 1.01 {
+		t.Errorf("p100 = %g, want ~1", got)
+	}
+	// Push the tail into the overflow bucket: high quantiles clamp to the
+	// top finite bound rather than inventing a value.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("overflow quantile = %g, want top bound 4", got)
+	}
+}
+
 func TestEventLogRingAndSince(t *testing.T) {
 	l := NewEventLog(4)
 	for i := 0; i < 6; i++ {
@@ -166,6 +201,46 @@ func TestEventLogSubscribe(t *testing.T) {
 	}
 }
 
+// TestEventLogSlowSubscriberDropCounter pins the slow-watcher contract:
+// a stalled subscriber costs drops counted on its DropCounter metric,
+// never a blocked Append, and a healthy subscriber on the same log is
+// unaffected.
+func TestEventLogSlowSubscriberDropCounter(t *testing.T) {
+	reg := NewRegistry()
+	l := NewEventLog(16)
+	slow := l.Subscribe(1)
+	slow.DropCounter = reg.Counter("events_dropped_total", "subscriber", "slow")
+	healthy := l.Subscribe(16)
+	defer l.Unsubscribe(slow)
+	defer l.Unsubscribe(healthy)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			l.Append(Event{Type: EventPlace})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append blocked on a stalled subscriber")
+	}
+	// The slow subscriber got 1 buffered event and dropped the other 9.
+	if got := slow.Dropped(); got != 9 {
+		t.Errorf("slow.Dropped() = %d, want 9", got)
+	}
+	if got := reg.Counter("events_dropped_total", "subscriber", "slow").Value(); got != 9 {
+		t.Errorf("drop counter = %d, want 9", got)
+	}
+	for i := 0; i < 10; i++ {
+		<-healthy.C
+	}
+	if got := healthy.Dropped(); got != 0 {
+		t.Errorf("healthy subscriber dropped %d", got)
+	}
+}
+
 // TestEventSchemaGolden locks the Event wire schema: `dynriver events
 // -json` output and watch_events frames are scripted against these exact
 // field names, so a rename here is a breaking protocol change.
@@ -192,6 +267,17 @@ func TestEventSchemaGolden(t *testing.T) {
 	const sparse = `{"seq":1,"time_ms":5,"type":"register","node":"n"}`
 	if string(raw) != sparse {
 		t.Fatalf("sparse event schema drifted:\n got %s\nwant %s", raw, sparse)
+	}
+	// Remediation events (v7) append the phase field after the v6 schema,
+	// so v6 scripts parse v7 streams unchanged.
+	raw, _ = json.Marshal(Event{
+		Seq: 7, TimeMS: 9, Type: EventRemediation, Node: "host-b",
+		Detail: "cooldown", Phase: RemPhaseSuppressed,
+	})
+	const remed = `{"seq":7,"time_ms":9,"type":"remediation","node":"host-b",` +
+		`"detail":"cooldown","phase":"suppressed"}`
+	if string(raw) != remed {
+		t.Fatalf("remediation event schema drifted:\n got %s\nwant %s", raw, remed)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/record"
@@ -97,10 +98,28 @@ func EmitClip(out pipeline.Emitter, c *Clip) error {
 
 // StationSource generates clips from a synthetic sensor station, emitting
 // ClipCount clips (the field deployment's periodic capture, compressed in
-// time).
+// time). Pace, when set, sleeps that long after every record so the
+// stream approximates a live sensor instead of saturating the pipe —
+// load experiments that watch queue depth need a baseline below the
+// transport's backpressure ceiling.
 type StationSource struct {
 	Station   *synth.Station
 	ClipCount int
+	Pace      time.Duration
+}
+
+// pacedEmitter throttles an emitter by sleeping after every record.
+type pacedEmitter struct {
+	inner pipeline.Emitter
+	d     time.Duration
+}
+
+func (p pacedEmitter) Emit(r *record.Record) error {
+	if err := p.inner.Emit(r); err != nil {
+		return err
+	}
+	time.Sleep(p.d)
+	return nil
 }
 
 // Name implements pipeline.Source.
@@ -108,6 +127,9 @@ func (s *StationSource) Name() string { return "station(" + s.Station.Name + ")"
 
 // Run implements pipeline.Source.
 func (s *StationSource) Run(out pipeline.Emitter) error {
+	if s.Pace > 0 {
+		out = pacedEmitter{inner: out, d: s.Pace}
+	}
 	for i := 0; i < s.ClipCount; i++ {
 		clip, id, err := s.Station.NextClip()
 		if err != nil {

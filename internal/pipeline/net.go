@@ -806,6 +806,10 @@ func (s *StreamIn) serveConn(conn net.Conn, out Emitter) error {
 			}
 			continue
 		}
+		// Ingress stamp for the latency tracer: time spent from here to
+		// the hosting pipeline's sink stage is this unit's latency. The
+		// stamp is in-memory only and never re-encoded.
+		rec.IngressNanos = time.Now().UnixNano()
 		if err := out.Emit(rec); err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -74,6 +75,11 @@ type Node struct {
 	// QueueSize bounds hosted segments' streamin emit queues (default
 	// DefaultQueueSize); set before Host to override.
 	QueueSize int
+	// Obs, when set before hosting, gives every hosted unit a latency
+	// tracer writing per-unit and end-to-end histograms into this
+	// registry (see LatencyTracer); quantile snapshots then appear in
+	// Stats. Nil disables tracing.
+	Obs *obs.Registry
 
 	mu     sync.Mutex
 	hosted map[string]*hostedSegment
@@ -89,6 +95,7 @@ type hostedSegment struct {
 	seg    *Segment
 	src    Source
 	sink   Sink
+	tracer *LatencyTracer // nil unless the node has an obs registry
 	cancel context.CancelFunc
 	done   chan struct{}
 	err    error
@@ -189,6 +196,7 @@ func (n *Node) HostUnit(name, role string, src Source, seg *Segment, sink Sink) 
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &hostedSegment{role: role, seg: seg, src: src, sink: sink,
 		cancel: cancel, done: make(chan struct{})}
+	h.tracer = NewLatencyTracer(n.Obs, name)
 
 	n.mu.Lock()
 	if _, exists := n.hosted[name]; exists {
@@ -204,6 +212,7 @@ func (n *Node) HostUnit(name, role string, src Source, seg *Segment, sink Sink) 
 	go func() {
 		defer close(h.done)
 		p := New().SetSource(src).Append(seg).SetSink(sink)
+		p.Tracer = h.tracer
 		err := p.Run(ctx)
 		if err != nil && !errors.Is(err, ErrStopped) && !errors.Is(err, context.Canceled) {
 			h.err = err
@@ -289,12 +298,31 @@ type SegmentStats struct {
 	Dups     uint64
 	Skipped  uint64
 	Untagged uint64
+	// Alerts counts alarms raised by detector operators in the segment's
+	// chain (see ops.ChangeDetect); zero for chains without detectors.
+	Alerts uint64
+	// LatP50Us/LatP95Us/LatP99Us are quantile snapshots, in microseconds,
+	// of the unit latency histogram (local ingress to sink stage); zero
+	// on an untraced node. E2eP50Us/E2eP95Us/E2eP99Us are the same for
+	// the end-to-end trace-probe series, zero until probes arrive.
+	LatP50Us uint64
+	LatP95Us uint64
+	LatP99Us uint64
+	E2eP50Us uint64
+	E2eP95Us uint64
+	E2eP99Us uint64
 	// Failed reports that the segment's pipeline exited on its own — an
 	// operator error, not a Stop — and the instance is no longer
 	// processing; Err carries the cause. A control plane treats this as
 	// the segment needing re-placement even though the node is healthy.
 	Failed bool
 	Err    string
+}
+
+// AlertCounter is implemented by operators that raise alerts (detector
+// operators); Stats sums alert counts across a segment's chain.
+type AlertCounter interface {
+	Alerts() uint64
 }
 
 // Stats snapshots the counters of every hosted segment, sorted by name.
@@ -335,6 +363,21 @@ func (n *Node) Stats() []SegmentStats {
 		}
 		if fs, ok := h.sink.(EndpointStatser); ok {
 			fs.FillStats(&s)
+		}
+		for _, op := range h.seg.ops {
+			if ac, ok := op.(AlertCounter); ok {
+				s.Alerts += ac.Alerts()
+			}
+		}
+		if t := h.tracer; t != nil {
+			s.LatP50Us = uint64(t.UnitQuantile(0.50) * 1e6)
+			s.LatP95Us = uint64(t.UnitQuantile(0.95) * 1e6)
+			s.LatP99Us = uint64(t.UnitQuantile(0.99) * 1e6)
+			if t.E2ECount() > 0 {
+				s.E2eP50Us = uint64(t.E2EQuantile(0.50) * 1e6)
+				s.E2eP95Us = uint64(t.E2EQuantile(0.95) * 1e6)
+				s.E2eP99Us = uint64(t.E2EQuantile(0.99) * 1e6)
+			}
 		}
 		select {
 		case <-h.done:

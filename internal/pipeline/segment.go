@@ -130,6 +130,11 @@ type Pipeline struct {
 	segments []*Segment
 	sink     Sink
 	buffer   int
+
+	// Tracer, when set, observes every record as it reaches the sink
+	// stage, recording unit and end-to-end latency (see LatencyTracer).
+	// Nil leaves the sink stage untouched.
+	Tracer *LatencyTracer
 }
 
 // New returns an empty pipeline. Stages are added with SetSource,
@@ -284,6 +289,7 @@ func (p *Pipeline) Run(parent context.Context) error {
 				if !ok {
 					return
 				}
+				p.Tracer.Observe(r)
 				err := p.sink.Consume(r)
 				if recycle {
 					record.Release(r)

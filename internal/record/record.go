@@ -143,6 +143,17 @@ const (
 	SubtypePattern  uint16 = 5 // feature vector for classification
 )
 
+// Subtypes for control records (KindControl).
+const (
+	// SubtypeTraceProbe marks a latency trace probe: a control record
+	// whose payload is the probe's origin timestamp (see NewTraceProbe).
+	// Probes ride the stream end to end — operators pass non-data records
+	// through, the splitter tags and fans them out, the merger dedups
+	// them — and the sink-side tracer turns origin-to-sink time into the
+	// e2e latency histogram.
+	SubtypeTraceProbe uint16 = 100
+)
+
 // Errors returned by record accessors and validators.
 var (
 	ErrPayloadType  = errors.New("record: payload type mismatch")
@@ -178,6 +189,13 @@ type Record struct {
 	// Payload holds the encoded payload bytes. Use the typed accessors
 	// rather than touching Payload directly.
 	Payload []byte
+	// IngressNanos is the local monotonic-wall timestamp (UnixNano) at
+	// which this record entered the current process — stamped by streamin
+	// and the replica merger as they decode, zero for records that never
+	// crossed a network hop. It is in-memory only: the wire codec neither
+	// encodes nor decodes it, so it never compares clocks across machines.
+	// Clone/CloneInto propagate it; Release clears it.
+	IngressNanos int64
 }
 
 // NewData returns a data record with no payload. Use the Set* methods to

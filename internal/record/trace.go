@@ -1,0 +1,53 @@
+package record
+
+import "fmt"
+
+// Latency trace probes.
+//
+// A probe is a KindControl record carrying its origin wall-clock time
+// (UnixNano, little-endian uint64 payload). A source injects one every
+// probe interval; every component in between treats it as an ordinary
+// control record — operators pass it through, the splitter tags it, the
+// merger dedups it — and the terminal unit's tracer reads the origin
+// back out to measure true end-to-end pipeline latency. Probes are rare
+// (a few per second at most), so the allocation of injecting one never
+// shows on the per-record hot path.
+//
+// Origin times only compare meaningfully against the clock of the
+// observing process; across machines the measurement includes clock
+// skew, which is the usual distributed-tracing caveat, not a bug in the
+// probe.
+
+// NewTraceProbe returns a trace probe originating at originNanos
+// (UnixNano). The probe carries no scope structure, so it is safe to
+// inject at any stream position.
+func NewTraceProbe(originNanos int64) *Record {
+	r := GetRecord()
+	FillTraceProbe(r, originNanos)
+	return r
+}
+
+// FillTraceProbe turns r into a trace probe in place (for callers that
+// manage their own pooling).
+func FillTraceProbe(r *Record, originNanos int64) {
+	r.Kind = KindControl
+	r.Subtype = SubtypeTraceProbe
+	r.PayloadType = PayloadBytes
+	putU64(r.ensurePayload(8), uint64(originNanos))
+}
+
+// IsTraceProbe reports whether r is a latency trace probe.
+func IsTraceProbe(r *Record) bool {
+	return r != nil && r.Kind == KindControl && r.Subtype == SubtypeTraceProbe
+}
+
+// TraceOrigin returns the probe's origin timestamp (UnixNano).
+func TraceOrigin(r *Record) (int64, error) {
+	if !IsTraceProbe(r) {
+		return 0, fmt.Errorf("record: not a trace probe: %s", r)
+	}
+	if len(r.Payload) < 8 {
+		return 0, fmt.Errorf("%w: trace probe payload %d bytes, want 8", ErrShortPayload, len(r.Payload))
+	}
+	return int64(getU64(r.Payload)), nil
+}

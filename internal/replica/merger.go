@@ -271,6 +271,9 @@ func (m *Merger) serveLeg(conn net.Conn, out pipeline.Emitter) {
 		if err != nil {
 			return
 		}
+		// Ingress stamp for the latency tracer, as in StreamIn: merger
+		// units measure from leg decode to the sink stage.
+		rec.IngressNanos = time.Now().UnixNano()
 		if err := m.ingest(rec, out); err != nil {
 			// Downstream failed: stop the whole source so the hosted
 			// pipeline unwinds with the emission error.

@@ -64,6 +64,11 @@ type Agent struct {
 
 	mu    sync.Mutex
 	units map[string]unitMeta // hosted instance name -> control metadata
+
+	// obs is the node's metric registry. It always exists — hosted units
+	// record latency histograms into it whether or not MetricsAddr
+	// publishes them — and is shared with the data plane via node.Obs.
+	obs *obs.Registry
 }
 
 // unitMeta is what the agent itself must remember about a hosted unit to
@@ -79,10 +84,14 @@ type unitMeta struct {
 // NewAgent returns an agent named name that will serve coordinator
 // coordAddr, instantiating segments from reg.
 func NewAgent(name, coordAddr string, reg *pipeline.Registry) *Agent {
+	node := pipeline.NewNode(name, reg)
+	oreg := obs.NewRegistry()
+	node.Obs = oreg
 	return &Agent{
 		name:         name,
 		coordAddr:    coordAddr,
-		node:         pipeline.NewNode(name, reg),
+		node:         node,
+		obs:          oreg,
 		ListenHost:   "127.0.0.1",
 		Heartbeat:    250 * time.Millisecond,
 		DrainWindow:  3 * time.Second,
@@ -110,7 +119,7 @@ func (a *Agent) Node() *pipeline.Node { return a.node }
 func (a *Agent) Run(ctx context.Context) error {
 	defer func() { _ = a.node.StopAll() }()
 	if a.MetricsAddr != "" {
-		reg := obs.NewRegistry()
+		reg := a.obs
 		reg.OnGather(func() { a.fillMetrics(reg) })
 		bound, stop, err := obs.Serve(a.MetricsAddr, reg)
 		if err != nil {
@@ -482,6 +491,13 @@ func (a *Agent) segmentStats() []SegmentStatus {
 			Dups:       s.Dups,
 			Skipped:    s.Skipped,
 			Untagged:   s.Untagged,
+			Alerts:     s.Alerts,
+			LatP50Us:   s.LatP50Us,
+			LatP95Us:   s.LatP95Us,
+			LatP99Us:   s.LatP99Us,
+			E2eP50Us:   s.E2eP50Us,
+			E2eP95Us:   s.E2eP95Us,
+			E2eP99Us:   s.E2eP99Us,
 			Failed:     s.Failed,
 			Err:        s.Err,
 		}
@@ -507,6 +523,19 @@ func (a *Agent) fillMetrics(reg *obs.Registry) {
 		reg.Gauge("dynriver_agent_segment_records_out", l...).Set(float64(s.RecordsOut))
 		reg.Gauge("dynriver_agent_segment_leg_drops", l...).Set(float64(s.LegDrops))
 		reg.Gauge("dynriver_agent_segment_gap_skips", l...).Set(float64(s.Skipped))
+		reg.Gauge("dynriver_agent_segment_alerts", l...).Set(float64(s.Alerts))
+		// Latency quantile snapshots in seconds, from the same histograms
+		// the registry also exposes in full (dynriver_unit_latency_seconds).
+		if s.LatP99Us > 0 {
+			reg.Gauge("dynriver_agent_segment_latency_p50_seconds", l...).Set(float64(s.LatP50Us) / 1e6)
+			reg.Gauge("dynriver_agent_segment_latency_p95_seconds", l...).Set(float64(s.LatP95Us) / 1e6)
+			reg.Gauge("dynriver_agent_segment_latency_p99_seconds", l...).Set(float64(s.LatP99Us) / 1e6)
+		}
+		if s.E2eP99Us > 0 {
+			reg.Gauge("dynriver_agent_segment_e2e_latency_p50_seconds", l...).Set(float64(s.E2eP50Us) / 1e6)
+			reg.Gauge("dynriver_agent_segment_e2e_latency_p95_seconds", l...).Set(float64(s.E2eP95Us) / 1e6)
+			reg.Gauge("dynriver_agent_segment_e2e_latency_p99_seconds", l...).Set(float64(s.E2eP99Us) / 1e6)
+		}
 	}
 }
 

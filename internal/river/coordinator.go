@@ -159,6 +159,9 @@ type Config struct {
 	// Monitor parameterizes the self-monitoring anomaly detector loop;
 	// the zero value enables it with defaults (see MonitorConfig).
 	Monitor MonitorConfig
+	// Remediate parameterizes the anomaly-driven remediation policy; the
+	// zero value observes without acting (see RemediateConfig).
+	Remediate RemediateConfig
 	// Logf, when set, receives control-plane event logs.
 	Logf func(format string, args ...any)
 }
@@ -215,6 +218,7 @@ type counterMark struct {
 	addr     string
 	legDrops uint64
 	skipped  uint64
+	alerts   uint64
 }
 
 // Coordinator owns a registry of desired pipeline topologies and drives
@@ -270,6 +274,8 @@ type Coordinator struct {
 	recDur      *obs.Histogram
 	metricsAddr string
 	metricsStop func() error
+	// rem holds the remediation policy's guardrail state (see remediate.go).
+	rem *remediator
 }
 
 // stopReq names a segment instance to stop on a node.
@@ -296,6 +302,9 @@ func (c Config) bootPipelines() []PipelineSpec {
 // coordinator's accept and reconcile loops.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Remediate.validate(); err != nil {
+		return nil, err
+	}
 	boot := cfg.bootPipelines()
 	ids := make(map[string]bool, len(boot))
 	for _, spec := range boot {
@@ -333,6 +342,11 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		disconnected: make(map[string]time.Time),
 		watchers:     make(map[*wire]string),
 		conns:        make(map[net.Conn]struct{}),
+		rem: &remediator{
+			cfg:      cfg.Remediate.withDefaults(),
+			lastTry:  make(map[string]time.Time),
+			inflight: make(map[string]bool),
+		},
 	}
 	c.setupObs()
 	if cfg.MetricsAddr != "" {
@@ -366,6 +380,8 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		c.wg.Add(1)
 		go c.monitorLoop()
 	}
+	c.wg.Add(1)
+	go c.remediateLoop()
 	return c, nil
 }
 
@@ -795,28 +811,36 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 						})
 					}
 				}
-				// Loss counters become events by delta against the last
-				// heartbeat. A new instance address means restarted
-				// counters: reset the baseline silently.
-				if s.LegDrops == 0 && s.Skipped == 0 && m.marks[s.Name].addr == "" {
+				// Loss and alert counters become events by delta against
+				// the last heartbeat. On first sight of an instance (or a
+				// replacement at a new address) the baseline seeds silently:
+				// its counters either just restarted or carry history the
+				// coordinator never owned (adoption after a restart).
+				mark, seen := m.marks[s.Name]
+				if !seen || mark.addr != s.Addr {
+					m.marks[s.Name] = counterMark{addr: s.Addr, legDrops: s.LegDrops, skipped: s.Skipped, alerts: s.Alerts}
 					continue
 				}
-				mark := m.marks[s.Name]
-				if mark.addr == s.Addr {
-					if d := s.LegDrops - mark.legDrops; d > 0 && s.LegDrops >= mark.legDrops {
-						events = append(events, obs.Event{
-							Type: obs.EventLegDrop, Unit: s.Name, Node: name,
-							Metric: "leg_drops", Value: float64(d),
-						})
-					}
-					if d := s.Skipped - mark.skipped; d > 0 && s.Skipped >= mark.skipped {
-						events = append(events, obs.Event{
-							Type: obs.EventGapSkip, Unit: s.Name, Node: name,
-							Metric: "skipped", Value: float64(d),
-						})
-					}
+				if d := s.LegDrops - mark.legDrops; d > 0 && s.LegDrops >= mark.legDrops {
+					events = append(events, obs.Event{
+						Type: obs.EventLegDrop, Unit: s.Name, Node: name,
+						Metric: "leg_drops", Value: float64(d),
+					})
 				}
-				m.marks[s.Name] = counterMark{addr: s.Addr, legDrops: s.LegDrops, skipped: s.Skipped}
+				if d := s.Skipped - mark.skipped; d > 0 && s.Skipped >= mark.skipped {
+					events = append(events, obs.Event{
+						Type: obs.EventGapSkip, Unit: s.Name, Node: name,
+						Metric: "skipped", Value: float64(d),
+					})
+				}
+				if d := s.Alerts - mark.alerts; d > 0 && s.Alerts >= mark.alerts {
+					events = append(events, obs.Event{
+						Type: obs.EventAlert, Unit: s.Name, Node: name,
+						Metric: "alerts", Value: float64(d),
+						Detail: "detector alarm(s) in the data plane",
+					})
+				}
+				m.marks[s.Name] = counterMark{addr: s.Addr, legDrops: s.LegDrops, skipped: s.Skipped, alerts: s.Alerts}
 			}
 			c.mu.Unlock()
 			for _, e := range events {

@@ -61,6 +61,10 @@ const (
 	monMetricQueueDepth  = "queue_depth"
 	monMetricLagDelta    = "lag_delta"
 	monMetricHeartbeatMS = "heartbeat_ms"
+	// e2e_latency_ms is the node's worst p99 data-plane latency across its
+	// hosted segments (protocol v7 heartbeats), in milliseconds — the
+	// latency tracing loop feeding back into anomaly detection.
+	monMetricE2eLatencyMS = "e2e_latency_ms"
 )
 
 // Absolute sigma floors per metric, in the metric's units: the smallest
@@ -70,8 +74,9 @@ const (
 // a flat-baseline series flags only once the value exceeds mean + T·f —
 // e.g. 4 queued records × threshold 4 = a backlog of 16+ records.
 const (
-	monFloorQueueDepth = 4 // records
-	monFloorLagDelta   = 8 // records per tick
+	monFloorQueueDepth = 4  // records
+	monFloorLagDelta   = 8  // records per tick
+	monFloorE2eLatency = 25 // milliseconds — sub-25ms jitter is healthy
 )
 
 // monitorLoop samples every node's aggregated telemetry each tick, feeds
@@ -82,8 +87,8 @@ func (c *Coordinator) monitorLoop() {
 	defer c.wg.Done()
 	mc := c.cfg.Monitor.withDefaults()
 	set := timeseries.NewZScoreSet(mc.Alpha, mc.Warmup)
-	prevLag := make(map[string]float64)     // cumulative lag at last tick
-	lastFlag := make(map[string]time.Time)  // (node/metric) -> last anomaly
+	prevLag := make(map[string]float64)    // cumulative lag at last tick
+	lastFlag := make(map[string]time.Time) // (node/metric) -> last anomaly
 	tick := time.NewTicker(mc.Interval)
 	defer tick.Stop()
 	for {
@@ -95,6 +100,7 @@ func (c *Coordinator) monitorLoop() {
 		type sample struct {
 			node       string
 			depth, lag float64
+			e2eMS      float64
 			beatAge    time.Duration
 		}
 		now := time.Now()
@@ -105,6 +111,13 @@ func (c *Coordinator) monitorLoop() {
 			for _, seg := range m.stats {
 				s.depth += float64(seg.QueueDepth)
 				s.lag += float64(seg.LagValue())
+				// Worst p99 across the node's segments; e2e (probe-derived)
+				// when available, per-hop otherwise.
+				if ms := float64(seg.E2eP99Us) / 1e3; ms > s.e2eMS {
+					s.e2eMS = ms
+				} else if ms := float64(seg.LatP99Us) / 1e3; seg.E2eP99Us == 0 && ms > s.e2eMS {
+					s.e2eMS = ms
+				}
 			}
 			samples = append(samples, s)
 		}
@@ -124,6 +137,7 @@ func (c *Coordinator) monitorLoop() {
 			}{
 				{monMetricQueueDepth, s.depth, monFloorQueueDepth},
 				{monMetricLagDelta, lagDelta, monFloorLagDelta},
+				{monMetricE2eLatencyMS, s.e2eMS, monFloorE2eLatency},
 				// Heartbeat age legitimately jitters by up to the beat
 				// interval on a healthy node; deviations under one interval
 				// are noise.
@@ -154,7 +168,7 @@ func (c *Coordinator) monitorLoop() {
 			if !seen[key] {
 				set.Forget(key + "/")
 				delete(prevLag, key)
-				for _, m := range []string{monMetricQueueDepth, monMetricLagDelta, monMetricHeartbeatMS} {
+				for _, m := range []string{monMetricQueueDepth, monMetricLagDelta, monMetricHeartbeatMS, monMetricE2eLatencyMS} {
 					delete(lastFlag, key+"/"+m)
 				}
 			}

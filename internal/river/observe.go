@@ -77,7 +77,8 @@ func rollupStatus(reg *obs.Registry, st *ClusterStatus) {
 	reg.Gauge("dynriver_coord_nodes").Set(float64(len(st.Nodes)))
 	reg.Gauge("dynriver_coord_pipelines").Set(float64(len(st.Pipelines)))
 	for _, n := range st.Nodes {
-		var depth, qcap, peak, lag, legDrops, skipped, dups float64
+		var depth, qcap, peak, lag, legDrops, skipped, dups, alerts float64
+		var latP99, e2eP99 float64 // worst across the node's segments, seconds
 		for _, s := range n.Segments {
 			depth += float64(s.QueueDepth)
 			qcap += float64(s.QueueCap)
@@ -86,6 +87,13 @@ func rollupStatus(reg *obs.Registry, st *ClusterStatus) {
 			legDrops += float64(s.LegDrops)
 			skipped += float64(s.Skipped)
 			dups += float64(s.Dups)
+			alerts += float64(s.Alerts)
+			if v := float64(s.LatP99Us) / 1e6; v > latP99 {
+				latP99 = v
+			}
+			if v := float64(s.E2eP99Us) / 1e6; v > e2eP99 {
+				e2eP99 = v
+			}
 		}
 		l := []string{"node", n.Name}
 		reg.Gauge(metricNodePrefix+"segments", l...).Set(float64(len(n.Segments)))
@@ -96,6 +104,9 @@ func rollupStatus(reg *obs.Registry, st *ClusterStatus) {
 		reg.Gauge(metricNodePrefix+"leg_drops", l...).Set(legDrops)
 		reg.Gauge(metricNodePrefix+"gap_skips", l...).Set(skipped)
 		reg.Gauge(metricNodePrefix+"dups", l...).Set(dups)
+		reg.Gauge(metricNodePrefix+"alerts", l...).Set(alerts)
+		reg.Gauge(metricNodePrefix+"latency_p99_seconds", l...).Set(latP99)
+		reg.Gauge(metricNodePrefix+"e2e_latency_p99_seconds", l...).Set(e2eP99)
 		reg.Gauge(metricNodePrefix+"proto", l...).Set(float64(n.Proto))
 		reg.Gauge(metricNodePrefix+"last_beat_ms", l...).Set(float64(n.LastBeatMS))
 	}
@@ -141,8 +152,12 @@ func (c *Coordinator) serveEventWatcher(w *wire, first *Message) {
 		return
 	}
 	// Subscribe before draining the backlog so no event falls between the
-	// two; the seq check below drops the overlap.
+	// two; the seq check below drops the overlap. The queue is bounded: a
+	// stalled client loses events (counted per subscriber below) instead
+	// of blocking the coordinator's event append path.
 	sub := c.events.Subscribe(256)
+	sub.DropCounter = c.reg.Counter("dynriver_events_dropped_total",
+		"subscriber", w.conn.RemoteAddr().String())
 	defer c.events.Unsubscribe(sub)
 	c.mu.Lock()
 	c.evWatchers++

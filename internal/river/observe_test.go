@@ -50,6 +50,9 @@ func TestRollupStatusFromHeartbeats(t *testing.T) {
 		"v3-node": {3, `[{"name":"g/split","type":"","addr":"127.0.0.1:19003","processed":90,"emitted":90,"conns":1,"bad_closes":0,"role":"split","legs":3,"leg_drops":7},{"name":"g/merge","type":"","addr":"127.0.0.1:19004","processed":90,"emitted":30,"conns":3,"bad_closes":0,"role":"merge","legs":3,"dups":9,"skipped":2}]`},
 		// v5 scopes unit names by pipeline; v6 adds the queue high-water mark.
 		"v6-node": {6, `[{"name":"pa:sc","type":"t","addr":"127.0.0.1:19005","processed":10,"emitted":10,"conns":1,"bad_closes":0,"queue_depth":5,"queue_cap":128,"queue_peak":77}]`},
+		// v7 adds detector alert counts and latency quantiles; the rollup
+		// takes the worst p99 across a node's segments, in seconds.
+		"v7-node": {7, `[{"name":"pa:sd","type":"t","addr":"127.0.0.1:19006","processed":20,"emitted":20,"conns":1,"bad_closes":0,"alerts":5,"lat_p50_us":200,"lat_p99_us":1500,"e2e_p50_us":800,"e2e_p99_us":9000},{"name":"pa:se","type":"t","addr":"127.0.0.1:19007","processed":20,"emitted":20,"conns":1,"bad_closes":0,"alerts":2,"lat_p99_us":700}]`},
 	}
 	st := &ClusterStatus{Epoch: 3, SinkAddr: "127.0.0.1:9"}
 	for name, hb := range heartbeats {
@@ -77,7 +80,7 @@ func TestRollupStatusFromHeartbeats(t *testing.T) {
 	got := buf.String()
 	for _, want := range []string{
 		`dynriver_coord_epoch 3`,
-		`dynriver_coord_nodes 4`,
+		`dynriver_coord_nodes 5`,
 		`dynriver_coord_pipelines 2`,
 		// v1: all-zero telemetry rolls up as zeros, proto gauge says why.
 		`dynriver_node_proto{node="v1-node"} 1`,
@@ -95,6 +98,14 @@ func TestRollupStatusFromHeartbeats(t *testing.T) {
 		// v6: the queue high-water mark.
 		`dynriver_node_queue_peak{node="v6-node"} 77`,
 		`dynriver_node_proto{node="v6-node"} 6`,
+		// v7: alert counts summed, latency quantiles worst-of across
+		// segments (1500us and 700us -> 0.0015s; e2e only on one segment).
+		`dynriver_node_alerts{node="v7-node"} 7`,
+		`dynriver_node_latency_p99_seconds{node="v7-node"} 0.0015`,
+		`dynriver_node_e2e_latency_p99_seconds{node="v7-node"} 0.009`,
+		`dynriver_node_proto{node="v7-node"} 7`,
+		// Older nodes roll up zeros for the v7 series.
+		`dynriver_node_alerts{node="v6-node"} 0`,
 		// Per-pipeline rollups.
 		`dynriver_pipeline_units{pipeline="pa"} 2`,
 		`dynriver_pipeline_placed{pipeline="pa"} 1`,

@@ -22,6 +22,16 @@ import (
 )
 
 // ProtocolVersion is the control protocol revision this build speaks.
+// Version 7 closed the observe→act loop and added data-plane latency
+// tracing. Heartbeats carry per-segment detector alert counts and
+// unit/end-to-end latency quantiles (alerts, lat_p50_us..e2e_p99_us),
+// which the coordinator folds into the event stream ("alert" events) and
+// the monitor's metric set (e2e_latency_ms). Events gain a Phase field
+// (used by the new "remediation" type: triggered/started/completed/
+// suppressed) emitted by the coordinator's remediation policy as it
+// auto-drains anomalous nodes. All additions are optional JSON fields, so
+// v6 peers interoperate: a v6 agent's heartbeats simply carry no latency
+// telemetry, and a v6 events client ignores the phase.
 // Version 6 added the observability stream: every control-plane
 // transition (register, adopt, failover, place/replace, redirect, legs,
 // drain phases, pipeline add/remove, leg drops, gap skips, anomaly flags)
@@ -57,7 +67,7 @@ import (
 // Agents announce their version in the register message; the coordinator
 // records it and echoes its own in the ack, so operators can spot
 // mixed-version clusters in status output.
-const ProtocolVersion = 6
+const ProtocolVersion = 7
 
 // Control message types. Register, heartbeat and ack flow from agents to
 // the coordinator; assign, redirect and stop flow the other way. Status
@@ -255,6 +265,20 @@ type SegmentStatus struct {
 	Dups     uint64 `json:"dups,omitempty"`
 	Skipped  uint64 `json:"skipped,omitempty"`
 	Untagged uint64 `json:"untagged,omitempty"`
+	// Observability telemetry (protocol v7). Alerts counts acoustic-event
+	// alarms raised by detector operators (ops.ChangeDetect) hosted in the
+	// segment; the coordinator folds deltas into "alert" events. The
+	// latency fields are quantile snapshots, in microseconds, of the
+	// segment's ingress-to-sink latency histogram (LatP*) and — on sink
+	// segments that see trace probes — the origin-to-sink end-to-end
+	// latency (E2eP*). v6 heartbeats leave all of these zero.
+	Alerts   uint64 `json:"alerts,omitempty"`
+	LatP50Us uint64 `json:"lat_p50_us,omitempty"`
+	LatP95Us uint64 `json:"lat_p95_us,omitempty"`
+	LatP99Us uint64 `json:"lat_p99_us,omitempty"`
+	E2eP50Us uint64 `json:"e2e_p50_us,omitempty"`
+	E2eP95Us uint64 `json:"e2e_p95_us,omitempty"`
+	E2eP99Us uint64 `json:"e2e_p99_us,omitempty"`
 	// Failed marks an instance whose pipeline exited on an operator
 	// error while its node stayed healthy; Err carries the cause. The
 	// coordinator re-places failed segments just like those on dead

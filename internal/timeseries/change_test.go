@@ -1,0 +1,185 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCUSUMDetectsSmallSustainedShift drives a noisy baseline followed
+// by a shift too small for any single sample to stand out: CUSUM must
+// stay quiet on the baseline and alarm within the shifted region.
+func TestCUSUMDetectsSmallSustainedShift(t *testing.T) {
+	c, err := NewCUSUM(0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		if _, alarm := c.Push(10 + rng.NormFloat64()); alarm {
+			t.Fatalf("false alarm on baseline at sample %d", i)
+		}
+	}
+	// +1.5 sigma sustained: each sample contributes ~1 sigma beyond the
+	// 0.5 slack, so the sum crosses H=5 within a handful of samples.
+	alarmAt := -1
+	for i := 0; i < 60; i++ {
+		if _, alarm := c.Push(11.5 + rng.NormFloat64()); alarm {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("sustained +1.5 sigma shift never alarmed")
+	}
+	if alarmAt > 30 {
+		t.Errorf("alarm took %d shifted samples; want prompt detection", alarmAt)
+	}
+}
+
+// TestCUSUMNegativeShiftAndStatSign checks the two-sided behavior: a
+// downward shift alarms too, and the statistic reports it negative.
+func TestCUSUMNegativeShiftAndStatSign(t *testing.T) {
+	c, err := NewCUSUM(0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		c.Push(5 + 0.5*rng.NormFloat64())
+	}
+	var lastStat float64
+	alarmed := false
+	for i := 0; i < 60 && !alarmed; i++ {
+		lastStat, alarmed = c.Push(3.5 + 0.5*rng.NormFloat64())
+	}
+	if !alarmed {
+		t.Fatal("downward shift never alarmed")
+	}
+	if lastStat >= 0 {
+		t.Errorf("downward shift reported non-negative stat %g", lastStat)
+	}
+	// The alarm resets the sums: the very next quiet sample cannot re-alarm.
+	if _, alarm := c.Push(5); alarm {
+		t.Error("sums not reset after alarm")
+	}
+}
+
+// TestCUSUMWarmupAndMinSigma locks two guardrails: no alarm can fire
+// inside the warmup window however extreme the input, and MinSigma
+// keeps a perfectly flat baseline from amplifying a trivial blip into
+// an alarm.
+func TestCUSUMWarmupAndMinSigma(t *testing.T) {
+	c, err := NewCUSUM(0.1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, alarm := c.Push(float64(i * 1000)); alarm {
+			t.Fatalf("alarm during warmup at sample %d", i)
+		}
+	}
+
+	// Flat baseline at 0 with a floor of 10: a wiggle of 2 stays well
+	// inside one floored sigma minus slack and must never accumulate an
+	// alarm; without the floor the relative sigma is ~1e-6 and a single
+	// wiggle would alarm instantly.
+	flat, err := NewCUSUM(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat.MinSigma = 10
+	for i := 0; i < 100; i++ {
+		if _, alarm := flat.Push(0); alarm {
+			t.Fatal("flat baseline alarmed")
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, alarm := flat.Push(2); alarm {
+			t.Fatalf("sub-floor wiggle alarmed at sample %d", i)
+		}
+	}
+}
+
+// TestPageHinkleyDetectsUpwardShift mirrors the CUSUM shift test for
+// Page-Hinkley: quiet on baseline, alarm on a sustained upward shift,
+// accumulator reset after the alarm.
+func TestPageHinkleyDetectsUpwardShift(t *testing.T) {
+	p, err := NewPageHinkley(0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		if _, alarm := p.Push(100 + 5*rng.NormFloat64()); alarm {
+			t.Fatalf("false alarm on baseline at sample %d", i)
+		}
+	}
+	alarmAt := -1
+	for i := 0; i < 80; i++ {
+		if _, alarm := p.Push(110 + 5*rng.NormFloat64()); alarm {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("sustained +2 sigma shift never alarmed")
+	}
+	if _, alarm := p.Push(100); alarm {
+		t.Error("accumulator not reset after alarm")
+	}
+}
+
+// TestPageHinkleyIgnoresDownwardShift documents the one-sidedness: the
+// test watches for upward shifts only, so a drop (e.g. load going away)
+// never alarms.
+func TestPageHinkleyIgnoresDownwardShift(t *testing.T) {
+	p, err := NewPageHinkley(0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		p.Push(50 + rng.NormFloat64())
+	}
+	for i := 0; i < 200; i++ {
+		if _, alarm := p.Push(40 + rng.NormFloat64()); alarm {
+			t.Fatalf("downward shift alarmed at sample %d", i)
+		}
+	}
+}
+
+// TestPageHinkleyMinSigmaOnFlatThenStep is the flat-then-step baseline
+// edge case: a series pinned at an exact constant (sigma 0) that steps
+// by less than MinSigma must stay quiet, while a step well beyond the
+// floor must alarm.
+func TestPageHinkleyMinSigmaOnFlatThenStep(t *testing.T) {
+	quiet, err := NewPageHinkley(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet.MinSigma = 8
+	for i := 0; i < 50; i++ {
+		quiet.Push(0)
+	}
+	for i := 0; i < 30; i++ {
+		if _, alarm := quiet.Push(1); alarm {
+			t.Fatalf("sub-floor step alarmed at sample %d", i)
+		}
+	}
+
+	loud, err := NewPageHinkley(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loud.MinSigma = 8
+	for i := 0; i < 50; i++ {
+		loud.Push(0)
+	}
+	alarmed := false
+	for i := 0; i < 30 && !alarmed; i++ {
+		_, alarmed = loud.Push(100)
+	}
+	if !alarmed {
+		t.Fatal("a 12.5-sigma step over the floor never alarmed")
+	}
+}
