@@ -112,6 +112,8 @@ func usage() {
                  [-state DIR] [-grace D] [-disconnect-grace D] [-fsync=BOOL]
                  [-metrics-addr ADDR] [-monitor=BOOL]
                  [-react observe|drain] [-dry-run] [-remediate-cooldown D] [-remediate-max N]
+                 [-autoscale] [-autoscale-low F] [-autoscale-high F] [-autoscale-min K]
+                 [-autoscale-max K] [-autoscale-step N] [-autoscale-cooldown D]
   dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N] [-retry N] [-retry-max D]
                 [-metrics-addr ADDR]
   dynriver status -coord HOST:PORT [-json] [-pipeline ID]
@@ -122,7 +124,10 @@ func usage() {
 
 placer policies: least-loaded (default), spread, load-aware
 segments syntax: TYPE, NAME=TYPE, with an optional :N replica suffix
-(e.g. "relay:3,extract"); -replicas N applies to entries without one
+(e.g. "relay:3,extract") or :sK shard suffix ("spectral:s4" runs the
+segment as K=4 keyed shards behind a partition/collect pair; -autoscale
+lets the coordinator move K with load); -replicas N applies to entries
+without one
 -pipelines N runs N copies of the -segments chain as pipelines p1..pN
 (each needs its own station; all share the node pool); -spec-file names
 a JSON file holding an array of pipeline specs ({"id","segments":[{"name",
@@ -381,8 +386,8 @@ func runSink(args []string) error {
 }
 
 // parseSegments parses the -segments syntax (comma-separated TYPE or
-// NAME=TYPE entries with an optional :N replica suffix) into segment
-// specs; defReplicas applies to entries without a suffix.
+// NAME=TYPE entries with an optional :N replica or :sK shard suffix)
+// into segment specs; defReplicas applies to entries without a suffix.
 func parseSegments(segments string, defReplicas int) ([]river.SegmentSpec, error) {
 	var out []river.SegmentSpec
 	for i, part := range strings.Split(segments, ",") {
@@ -390,19 +395,28 @@ func parseSegments(segments string, defReplicas int) ([]river.SegmentSpec, error
 		if part == "" {
 			continue
 		}
-		n := defReplicas
+		n, shards := defReplicas, 0
 		if colon := strings.LastIndexByte(part, ':'); colon >= 0 {
-			parsed, err := strconv.Atoi(part[colon+1:])
-			if err != nil || parsed < 1 {
-				return nil, fmt.Errorf("bad replica suffix in %q", part)
+			suffix := part[colon+1:]
+			if strings.HasPrefix(suffix, "s") {
+				parsed, err := strconv.Atoi(suffix[1:])
+				if err != nil || parsed < 1 {
+					return nil, fmt.Errorf("bad shard suffix in %q", part)
+				}
+				shards, n, part = parsed, 1, part[:colon]
+			} else {
+				parsed, err := strconv.Atoi(suffix)
+				if err != nil || parsed < 1 {
+					return nil, fmt.Errorf("bad replica suffix in %q", part)
+				}
+				n, part = parsed, part[:colon]
 			}
-			n, part = parsed, part[:colon]
 		}
 		name, typ := fmt.Sprintf("s%d-%s", i+1, part), part
 		if eq := strings.IndexByte(part, '='); eq >= 0 {
 			name, typ = part[:eq], part[eq+1:]
 		}
-		out = append(out, river.SegmentSpec{Name: name, Type: typ, Replicas: n})
+		out = append(out, river.SegmentSpec{Name: name, Type: typ, Replicas: n, Shards: shards})
 	}
 	return out, nil
 }
@@ -447,6 +461,13 @@ func runCoord(args []string) error {
 	remCooldown := fs.Duration("remediate-cooldown", time.Minute, "minimum spacing between remediations of the same node")
 	remMax := fs.Int("remediate-max", 1, "nodes remediated concurrently at most")
 	dryRun := fs.Bool("dry-run", false, "with -react=drain: log remediation decisions without executing the drains")
+	autoscale := fs.Bool("autoscale", false, "elastically resize sharded segments (:sK) with their measured saturation")
+	asLow := fs.Float64("autoscale-low", 0.15, "saturation below this scales a shard group in")
+	asHigh := fs.Float64("autoscale-high", 0.75, "saturation above this scales a shard group out")
+	asMin := fs.Int("autoscale-min", 1, "shard-count floor the autoscaler will not shrink below")
+	asMax := fs.Int("autoscale-max", 8, "shard-count ceiling the autoscaler will not grow past")
+	asStep := fs.Int("autoscale-step", 2, "shards added or removed per resize")
+	asCooldown := fs.Duration("autoscale-cooldown", 10*time.Second, "minimum spacing between resizes of the same shard group")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -501,6 +522,15 @@ func runCoord(args []string) error {
 			DryRun:        *dryRun,
 			Cooldown:      *remCooldown,
 			MaxConcurrent: *remMax,
+		},
+		Autoscale: river.AutoscaleConfig{
+			Enabled:   *autoscale,
+			LowWater:  *asLow,
+			HighWater: *asHigh,
+			MinShards: *asMin,
+			MaxShards: *asMax,
+			Step:      *asStep,
+			Cooldown:  *asCooldown,
 		},
 		Logf: func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
 	})
@@ -679,6 +709,11 @@ func runStatus(args []string) error {
 			case river.RoleMerge:
 				fmt.Printf("    %-14s %-10s merge: legs=%d dups=%d skipped=%d untagged=%d\n",
 					"", "", s.Legs, s.Dups, s.Skipped, s.Untagged)
+			case river.RolePartition:
+				fmt.Printf("    %-14s %-10s partition: legs=%d leg_drops=%d\n", "", "", s.Legs, s.LegDrops)
+			case river.RoleCollect:
+				fmt.Printf("    %-14s %-10s collect: legs=%d dups=%d skipped=%d untagged=%d\n",
+					"", "", s.Legs, s.Dups, s.Skipped, s.Untagged)
 			}
 		}
 	}
@@ -705,12 +740,72 @@ func runStatus(args []string) error {
 			fmt.Printf("pipeline %s: entry %s -> sink %s (%d unit(s)):\n",
 				id, orDash(pl.EntryAddr), pl.SinkAddr, len(pl.Placements))
 			printPlacements(pl.Placements)
+			printShardGroups(st, pl.Placements)
 		}
 		return nil
 	}
 	fmt.Printf("placements (%d):\n", len(st.Placements))
 	printPlacements(st.Placements)
+	printShardGroups(st, st.Placements)
 	return nil
+}
+
+// printShardGroups renders the elastic view of each sharded group in ps:
+// its live K, per-leg throughput and queue, and the skew ratio — the
+// hottest leg's processed count over the per-leg mean, so 1.00 is a
+// perfectly spread key space and K is the worst case (every record on
+// one leg). Replica groups render nothing here; their legs are mirrors,
+// not partitions, and skew over copies is meaningless.
+func printShardGroups(st *river.ClusterStatus, ps []river.PlacementStatus) {
+	segs := make(map[string]river.SegmentStatus)
+	for _, n := range st.Nodes {
+		for _, s := range n.Segments {
+			segs[s.Name] = s
+		}
+	}
+	var order []string
+	groups := make(map[string][]river.PlacementStatus)
+	for _, p := range ps {
+		if p.Role != river.RoleShard {
+			continue
+		}
+		g := p.Group
+		if g == "" {
+			if i := strings.LastIndexByte(p.Seg, '/'); i >= 0 {
+				g = p.Seg[:i]
+			}
+		}
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], p)
+	}
+	for _, g := range order {
+		legs := groups[g]
+		var total, hottest uint64
+		for _, p := range legs {
+			if s, ok := segs[p.Seg]; ok {
+				total += s.Processed
+				if s.Processed > hottest {
+					hottest = s.Processed
+				}
+			}
+		}
+		skew := 1.0
+		if total > 0 {
+			skew = float64(hottest) * float64(len(legs)) / float64(total)
+		}
+		fmt.Printf("  shard group %s: K=%d skew=%.2f\n", g, len(legs), skew)
+		for _, p := range legs {
+			s, ok := segs[p.Seg]
+			if !ok {
+				fmt.Printf("    %-16s on %-12s (no telemetry yet)\n", p.Seg, orDash(p.Node))
+				continue
+			}
+			fmt.Printf("    %-16s on %-12s processed=%d queue=%d/%d\n",
+				p.Seg, p.Node, s.Processed, s.QueueDepth, s.QueueCap)
+		}
+	}
 }
 
 // runEvents prints a coordinator's control-plane event stream (protocol

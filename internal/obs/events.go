@@ -63,6 +63,11 @@ const (
 	// on the stream it processes (Unit, Node, Value is the alert-count
 	// delta since the last heartbeat).
 	EventAlert = "alert"
+	// EventAutoscale: the shard autoscaler evaluated — or acted on — a
+	// sharded group's saturation (Pipeline, Unit is the group, Metric
+	// "saturation", Value, Phase is one of triggered/scale_out/scale_in/
+	// suppressed, Detail the K transition or the suppression reason).
+	EventAutoscale = "autoscale"
 )
 
 // Remediation phases carried in Event.Phase on EventRemediation events.
@@ -78,6 +83,22 @@ const (
 	// concurrency cap, drain already in flight, observe/dry-run mode);
 	// Detail names the reason.
 	RemPhaseSuppressed = "suppressed"
+)
+
+// Autoscale phases carried in Event.Phase on EventAutoscale events.
+const (
+	// AsPhaseTriggered: a shard group's saturation left the target band
+	// for the sustain window and a resize was considered.
+	AsPhaseTriggered = "triggered"
+	// AsPhaseScaleOut: the group's live K grew; Detail carries the
+	// transition ("K 2 -> 4").
+	AsPhaseScaleOut = "scale_out"
+	// AsPhaseScaleIn: the group's live K shrank.
+	AsPhaseScaleIn = "scale_in"
+	// AsPhaseSuppressed: the autoscaler declined to act (cooldown, K
+	// bound reached, a drain or resize in flight); Detail names the
+	// reason.
+	AsPhaseSuppressed = "suppressed"
 )
 
 // Event is one typed control-plane transition. The JSON schema is stable

@@ -36,6 +36,22 @@ func ReplicaStreamID(group string) uint32 {
 	return 1
 }
 
+// ShardStreamID derives the stable, nonzero stream identity of a sharded
+// segment group from its name. The "shard:" prefix keeps the namespace
+// disjoint from replica groups, so a shard collector never deduplicates a
+// replica splitter's stream (or vice versa) even when the two groups share
+// a segment name. Sharded streams reuse the same Seq/SourceID packing as
+// replication (TagReplica/ReplicaTag) and are therefore wire-compatible
+// with every existing reader.
+func ShardStreamID(group string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte("shard:" + group))
+	if id := h.Sum32(); id != 0 {
+		return id
+	}
+	return 1
+}
+
 // TagReplica annotates r as record n of the given replication stream and
 // splitter epoch, overwriting Seq and SourceID. n wraps at 2^48, far
 // beyond any stream a single splitter incarnation produces.

@@ -34,6 +34,24 @@ type MergerConfig struct {
 	// consumes it. Enable only when every downstream consumer honors the
 	// ownership contract in record/pool.go.
 	Pooled bool
+	// Stream overrides the stream identity derived from Group (0 derives
+	// record.ReplicaStreamID(Group)). The shard collector reuses the
+	// merger's ring-reorder core under its own stream namespace.
+	Stream uint32
+	// Role overrides the role the merger reports in names and stats
+	// (default "merge").
+	Role string
+	// ZeroBased declares that each tagging epoch numbers from 0 and that
+	// the transport bounds the records in flight below Window. On an epoch
+	// resync the merger then anchors at 0 whenever the first record
+	// observed is inside the window, instead of at that record. Replica
+	// legs never need this — every leg carries the whole stream in order,
+	// so the first arrival of an epoch is its head — but shard legs each
+	// start at whatever sequence first hashed to them, and anchoring at a
+	// fast leg's first record would misorder or drop the slower legs'
+	// heads. A first observation beyond the window still anchors there
+	// (the stream was already running; this merger joined mid-flight).
+	ZeroBased bool
 }
 
 // Merger is a pipeline.Source that accepts the N replica legs of a
@@ -50,13 +68,15 @@ type MergerConfig struct {
 // swallowing them here is precisely what makes a replica death invisible
 // downstream.
 type Merger struct {
-	group  string
-	stream uint32
-	window int
-	pooled bool
-	ln     net.Listener
-	ctx    context.Context
-	cancel context.CancelFunc
+	group     string
+	stream    uint32
+	role      string
+	window    int
+	pooled    bool
+	zeroBased bool
+	ln        net.Listener
+	ctx       context.Context
+	cancel    context.CancelFunc
 
 	// Telemetry is atomic so stats snapshots (heartbeats) never block
 	// behind an in-flight Emit holding mu.
@@ -98,22 +118,30 @@ func NewMerger(cfg MergerConfig) (*Merger, error) {
 		return nil, fmt.Errorf("replica: merger listen %s: %w", addr, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	if cfg.Stream == 0 {
+		cfg.Stream = record.ReplicaStreamID(cfg.Group)
+	}
+	if cfg.Role == "" {
+		cfg.Role = "merge"
+	}
 	return &Merger{
-		group:   cfg.Group,
-		stream:  record.ReplicaStreamID(cfg.Group),
-		window:  cfg.Window,
-		pooled:  cfg.Pooled,
-		ln:      ln,
-		ctx:     ctx,
-		cancel:  cancel,
-		ring:    make([]*record.Record, cfg.Window),
-		ringSeq: make([]uint64, cfg.Window),
-		tracker: record.NewTracker(),
+		group:     cfg.Group,
+		stream:    cfg.Stream,
+		role:      cfg.Role,
+		window:    cfg.Window,
+		pooled:    cfg.Pooled,
+		zeroBased: cfg.ZeroBased,
+		ln:        ln,
+		ctx:       ctx,
+		cancel:    cancel,
+		ring:      make([]*record.Record, cfg.Window),
+		ringSeq:   make([]uint64, cfg.Window),
+		tracker:   record.NewTracker(),
 	}, nil
 }
 
 // Name implements pipeline.Source.
-func (m *Merger) Name() string { return "merge(" + m.group + ")" }
+func (m *Merger) Name() string { return m.role + "(" + m.group + ")" }
 
 // Addr returns the bound listen address replica legs dial.
 func (m *Merger) Addr() string { return m.ln.Addr().String() }
@@ -191,7 +219,7 @@ func (m *Merger) clearRingLocked() {
 
 // FillStats implements pipeline.EndpointStatser.
 func (m *Merger) FillStats(st *pipeline.SegmentStats) {
-	st.Role = "merge"
+	st.Role = m.role
 	st.Legs = int(m.live.Load())
 	st.Dups = m.dups.Load()
 	st.Skipped = m.skipped.Load()
@@ -313,6 +341,12 @@ func (m *Merger) ingest(r *record.Record, out pipeline.Emitter) error {
 		}
 		m.epoch, m.haveEpoch = epoch, true
 		m.next = n
+		if m.zeroBased && n < uint64(m.window) {
+			// The epoch numbers from 0 and this observation is within the
+			// in-flight bound, so the stream head is (or soon will be) in
+			// flight on some leg: wait for it rather than anchoring past it.
+			m.next = 0
+		}
 		m.clearRingLocked()
 	case epoch < m.epoch:
 		// A stale leg still relaying the old splitter's stream.

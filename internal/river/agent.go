@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replica"
+	"repro/internal/shard"
 )
 
 // Agent is the node-side half of the control plane. It registers with a
@@ -337,9 +338,10 @@ func (a *Agent) inventory() []UnitInventory {
 	return out
 }
 
-// handleAssign hosts (or re-hosts) a segment, a replication splitter or a
-// merger per the message role, and acks with the bound listen address the
-// upstream neighbor should dial.
+// handleAssign hosts (or re-hosts) a segment or a fan endpoint —
+// replication splitter/merger, shard partitioner/collector — per the
+// message role, and acks with the bound listen address the upstream
+// neighbor should dial.
 func (a *Agent) handleAssign(w *wire, msg *Message) {
 	// A re-assign of a name we already host replaces the instance, so a
 	// coordinator retrying after a lost ack converges instead of erroring.
@@ -356,6 +358,10 @@ func (a *Agent) handleAssign(w *wire, msg *Message) {
 		addr, err = a.hostSplitter(msg)
 	case RoleMerge:
 		addr, err = a.hostMerger(msg)
+	case RolePartition:
+		addr, err = a.hostPartitioner(msg)
+	case RoleCollect:
+		addr, err = a.hostCollector(msg)
 	default:
 		addr, err = a.node.Host(msg.Seg, msg.SegType, net.JoinHostPort(a.ListenHost, "0"), msg.Downstream)
 	}
@@ -415,6 +421,50 @@ func (a *Agent) hostMerger(msg *Message) (string, error) {
 		return "", err
 	}
 	return merge.Addr(), nil
+}
+
+// hostPartitioner runs a shard partitioner: a streamin front hashing each
+// record's stream identity to one of the shard legs.
+func (a *Agent) hostPartitioner(msg *Message) (string, error) {
+	in, err := pipeline.NewStreamIn(net.JoinHostPort(a.ListenHost, "0"))
+	if err != nil {
+		return "", err
+	}
+	in.QueueSize = a.node.QueueSize
+	// The partitioner hands its one leg a pool-backed copy and never
+	// retains its input, so the front can decode into pooled records.
+	in.Pooled = true
+	part := shard.NewPartitioner(shard.PartitionerConfig{
+		Group: msg.Group,
+		Epoch: msg.Epoch,
+		Legs:  msg.Downstreams,
+		Flush: a.node.FlushPolicy,
+	})
+	if err := a.node.HostUnit(msg.Seg, RolePartition, in, pipeline.NewSegment(msg.Seg), part); err != nil {
+		return "", err
+	}
+	return in.Addr(), nil
+}
+
+// hostCollector runs a shard collector: a concurrent fan-in source
+// restoring the partitioner's total order into a single batched streamout
+// toward the downstream.
+func (a *Agent) hostCollector(msg *Message) (string, error) {
+	col, err := shard.NewCollector(shard.CollectorConfig{
+		Group:      msg.Group,
+		ListenAddr: net.JoinHostPort(a.ListenHost, "0"),
+		// The downstream is a streamout, which encodes synchronously and
+		// never retains records, so the collector can recycle them.
+		Pooled: true,
+	})
+	if err != nil {
+		return "", err
+	}
+	out := pipeline.NewStreamOutBatched(msg.Downstream, a.node.FlushPolicy)
+	if err := a.node.HostUnit(msg.Seg, RoleCollect, col, pipeline.NewSegment(msg.Seg), out); err != nil {
+		return "", err
+	}
+	return col.Addr(), nil
 }
 
 func (a *Agent) stopSegment(segName string) error {

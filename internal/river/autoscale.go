@@ -1,0 +1,392 @@
+package river
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The shard autoscaler closes the elasticity loop for sharded segments:
+// the heartbeats already carry every shard leg's emit-queue depth and
+// bound, so the coordinator can see a group saturate (CPU-bound legs
+// whose queues sit near their caps) and widen it — or see it idle and
+// narrow it — without any operator in the loop. A resize is a unit-table
+// rewrite (state.setShardK, journaled) followed by the ordinary
+// declarative reconcile: new legs are placed and spliced into the
+// partitioner exactly like a failover re-splice, removed legs are
+// retired (the partitioner flushes their queues through the old
+// instances) and stopped after a settle — zero repairs, zero lost
+// records, the same drain splice a planned move uses.
+
+// AutoscaleConfig parameterizes the coordinator's shard autoscaler.
+type AutoscaleConfig struct {
+	// Enabled turns the autoscaler on; the zero value leaves sharded
+	// segments at their spec K.
+	Enabled bool
+	// Interval is the evaluation cadence (default 500ms).
+	Interval time.Duration
+	// LowWater and HighWater bound the target saturation band: a group's
+	// saturation (shard-leg queue depth summed over legs, divided by the
+	// summed queue caps) sustained above HighWater scales out, sustained
+	// below LowWater scales in. Defaults 0.15 and 0.75.
+	LowWater  float64
+	HighWater float64
+	// MinShards and MaxShards bound the live K (defaults 1 and 8). The
+	// spec's boot K may start outside the band; the autoscaler only ever
+	// moves K toward it.
+	MinShards int
+	MaxShards int
+	// Step is how many shards one resize adds or removes (default 2).
+	Step int
+	// Cooldown is the minimum gap between resizes of one group (default
+	// 10s), so a burst cannot thrash K up and down.
+	Cooldown time.Duration
+	// SustainTicks is how many consecutive evaluation ticks the
+	// saturation must breach the band before the autoscaler acts
+	// (default 4), filtering transient spikes.
+	SustainTicks int
+}
+
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.15
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 0.75
+	}
+	if c.MinShards < 1 {
+		c.MinShards = 1
+	}
+	if c.MaxShards < 1 {
+		c.MaxShards = 8
+	}
+	if c.Step < 1 {
+		c.Step = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.SustainTicks < 1 {
+		c.SustainTicks = 4
+	}
+	return c
+}
+
+func (c AutoscaleConfig) validate() error {
+	c = c.withDefaults()
+	if c.LowWater >= c.HighWater {
+		return fmt.Errorf("river: autoscale low water %.2f must be below high water %.2f", c.LowWater, c.HighWater)
+	}
+	if c.HighWater > 1 {
+		return errors.New("river: autoscale high water is a saturation fraction; must be <= 1")
+	}
+	if c.MinShards > c.MaxShards {
+		return fmt.Errorf("river: autoscale min shards %d above max %d", c.MinShards, c.MaxShards)
+	}
+	return nil
+}
+
+// autoscaler holds the per-group guardrail state. Its own mutex keeps it
+// independent of the coordinator mu (decide is called with samples
+// already extracted).
+type autoscaler struct {
+	cfg AutoscaleConfig
+
+	mu        sync.Mutex
+	above     map[string]int       // consecutive ticks above HighWater
+	below     map[string]int       // consecutive ticks below LowWater
+	lastScale map[string]time.Time // per-group cooldown anchor
+	inflight  map[string]bool      // a resize of this group is executing
+}
+
+func newAutoscaler(cfg AutoscaleConfig) *autoscaler {
+	return &autoscaler{
+		cfg:       cfg,
+		above:     make(map[string]int),
+		below:     make(map[string]int),
+		lastScale: make(map[string]time.Time),
+		inflight:  make(map[string]bool),
+	}
+}
+
+// shardGroupSample is one sharded group's state at an evaluation tick.
+type shardGroupSample struct {
+	pipe    string
+	group   string // scoped group name
+	specIdx int
+	k       int     // live K per the unit tables
+	placed  int     // shard legs currently placed
+	sampled int     // shard legs with queue telemetry this tick
+	sat     float64 // sum(queue depth) / sum(queue cap) over sampled legs
+}
+
+// decision is what one evaluation tick concluded for one group.
+type decision struct {
+	target   int    // new K (scale decisions only)
+	phase    string // "", obs.AsPhaseScaleOut, obs.AsPhaseScaleIn, obs.AsPhaseSuppressed
+	reason   string // suppression reason
+	scaleOut bool
+}
+
+// decide folds one group sample into the sustain counters and returns
+// what to do. drains is the coordinator's count of planned drains in
+// flight. After any decision — a resize or a suppression — the group's
+// counters reset, so the next action needs a fresh sustained breach;
+// that turns a standing suppression condition (K pinned at a bound, a
+// long cooldown) into one event per sustain window instead of one per
+// tick.
+func (as *autoscaler) decide(g shardGroupSample, drains int, now time.Time) decision {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if g.placed < g.k || g.sampled < g.placed {
+		// Legs still placing, splicing or not yet reporting telemetry:
+		// saturation over a partial group misleads both directions.
+		as.above[g.group], as.below[g.group] = 0, 0
+		return decision{}
+	}
+	switch {
+	case g.sat > as.cfg.HighWater:
+		as.above[g.group]++
+		as.below[g.group] = 0
+	case g.sat < as.cfg.LowWater:
+		as.below[g.group]++
+		as.above[g.group] = 0
+	default:
+		as.above[g.group], as.below[g.group] = 0, 0
+	}
+	out := as.above[g.group] >= as.cfg.SustainTicks
+	in := as.below[g.group] >= as.cfg.SustainTicks
+	if !out && !in {
+		return decision{}
+	}
+	as.above[g.group], as.below[g.group] = 0, 0
+	if in && g.k <= as.cfg.MinShards {
+		// The calm steady state at the floor: not worth an event stream
+		// entry every sustain window.
+		return decision{}
+	}
+	d := decision{scaleOut: out}
+	switch {
+	case out && g.k >= as.cfg.MaxShards:
+		d.phase, d.reason = obs.AsPhaseSuppressed, "max-shards"
+	case as.inflight[g.group]:
+		d.phase, d.reason = obs.AsPhaseSuppressed, "resize-in-flight"
+	case drains > 0:
+		d.phase, d.reason = obs.AsPhaseSuppressed, "drain-in-flight"
+	case now.Sub(as.lastScale[g.group]) < as.cfg.Cooldown:
+		d.phase, d.reason = obs.AsPhaseSuppressed, "cooldown"
+	case out:
+		d.phase = obs.AsPhaseScaleOut
+		d.target = min(g.k+as.cfg.Step, as.cfg.MaxShards)
+	default:
+		d.phase = obs.AsPhaseScaleIn
+		d.target = max(g.k-as.cfg.Step, as.cfg.MinShards)
+	}
+	if d.target != 0 {
+		as.lastScale[g.group] = now
+		as.inflight[g.group] = true
+	}
+	return d
+}
+
+// resizeDone releases a group's in-flight latch.
+func (as *autoscaler) resizeDone(group string) {
+	as.mu.Lock()
+	delete(as.inflight, group)
+	as.mu.Unlock()
+}
+
+// forget drops a group's guardrail state (its pipeline was removed).
+func (as *autoscaler) forget(group string) {
+	as.mu.Lock()
+	delete(as.above, group)
+	delete(as.below, group)
+	delete(as.lastScale, group)
+	delete(as.inflight, group)
+	as.mu.Unlock()
+}
+
+// autoscaleLoop evaluates every sharded group each Interval.
+func (c *Coordinator) autoscaleLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.as.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.autoscaleTick()
+		}
+	}
+}
+
+// autoscaleTick samples every sharded group's saturation from the latest
+// heartbeats and applies the autoscaler's decisions.
+func (c *Coordinator) autoscaleTick() {
+	samples := c.sampleShardGroups()
+	drains := int(c.drainsActive.Load())
+	now := time.Now()
+	for _, g := range samples {
+		d := c.as.decide(g, drains, now)
+		if d.phase == "" {
+			continue
+		}
+		dir := "below low water"
+		if d.scaleOut {
+			dir = "above high water"
+		}
+		c.event(obs.Event{
+			Type: obs.EventAutoscale, Pipeline: g.pipe, Unit: g.group,
+			Metric: "saturation", Value: g.sat, Phase: obs.AsPhaseTriggered,
+			Detail: fmt.Sprintf("K=%d sustained %s", g.k, dir),
+		})
+		if d.phase == obs.AsPhaseSuppressed {
+			c.event(obs.Event{
+				Type: obs.EventAutoscale, Pipeline: g.pipe, Unit: g.group,
+				Metric: "saturation", Value: g.sat,
+				Phase: obs.AsPhaseSuppressed, Detail: d.reason,
+			})
+			c.logf("autoscale %s suppressed: %s (saturation %.2f, K=%d)", g.group, d.reason, g.sat, g.k)
+			continue
+		}
+		c.event(obs.Event{
+			Type: obs.EventAutoscale, Pipeline: g.pipe, Unit: g.group,
+			Metric: "saturation", Value: g.sat, Phase: d.phase,
+			Detail: fmt.Sprintf("K %d -> %d", g.k, d.target),
+		})
+		c.logf("autoscale %s: %s K %d -> %d (saturation %.2f)", g.group, d.phase, g.k, d.target, g.sat)
+		c.wg.Add(1)
+		go c.resizeShardGroup(g, d.target)
+	}
+}
+
+// sampleShardGroups extracts every sharded group's current K, placement
+// progress and leg saturation under one mu hold.
+func (c *Coordinator) sampleShardGroups() []shardGroupSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stats := make(map[string]SegmentStatus)
+	for _, m := range c.nodes {
+		for _, st := range m.stats {
+			stats[st.Name] = st
+		}
+	}
+	var out []shardGroupSample
+	for _, id := range c.st.order {
+		ps := c.st.pipelines[id]
+		for i, sp := range ps.spec.Segments {
+			if sp.Shards <= 1 {
+				continue
+			}
+			us := ps.unitsBySpec[i]
+			g := shardGroupSample{
+				pipe: id, group: scopedName(id, sp.Name), specIdx: i, k: len(us) - 2,
+			}
+			var depth, cap int
+			for _, u := range us {
+				if u.role != RoleShard {
+					continue
+				}
+				p := c.st.placements[u.name]
+				if p == nil || p.node == "" {
+					continue
+				}
+				g.placed++
+				st, ok := stats[u.name]
+				if !ok || st.QueueCap <= 0 || st.Addr != p.addr {
+					continue
+				}
+				g.sampled++
+				depth += st.QueueDepth
+				cap += st.QueueCap
+			}
+			if cap > 0 {
+				g.sat = float64(depth) / float64(cap)
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// resizeShardGroup applies one resize decision: rewrite the unit tables
+// (journaled), let the reconcile loop place new legs and re-splice the
+// partitioner, and — for a scale-in — stop the surplus instances only
+// after the partitioner has been spliced off them and their tails have
+// settled through to the collector, so the shrink repairs zero scopes
+// and loses zero records.
+func (c *Coordinator) resizeShardGroup(g shardGroupSample, target int) {
+	defer c.wg.Done()
+	defer c.as.resizeDone(g.group)
+	c.mu.Lock()
+	ps := c.st.pipelines[g.pipe]
+	if ps == nil || g.specIdx >= len(ps.unitsBySpec) ||
+		len(ps.unitsBySpec[g.specIdx])-2 != g.k {
+		// The pipeline vanished or the group was resized by someone else
+		// since the sample; drop the stale decision.
+		c.mu.Unlock()
+		return
+	}
+	removed := c.st.setShardK(ps, g.specIdx, target)
+	c.mu.Unlock()
+	c.kickReconcile()
+	if len(removed) == 0 {
+		return
+	}
+	// Scale-in: wait for the partitioner to stop routing to the removed
+	// legs (reconcile re-legs it against the shrunken table), give the
+	// retired legs and the old instances a settle to flush their tails to
+	// the collector, then stop them.
+	for _, r := range removed {
+		c.event(obs.Event{Type: obs.EventDrain, Pipeline: g.pipe, Unit: r.u.name,
+			Node: r.node, Detail: "autoscale scale-in"})
+	}
+	partName := g.group + "/partition"
+	gone := make(map[string]bool, len(removed))
+	for _, r := range removed {
+		gone[r.addr] = true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		p := c.st.placements[partName]
+		clean := p != nil
+		if p != nil {
+			for _, a := range p.legs {
+				if gone[a] {
+					clean = false
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+		if clean {
+			break
+		}
+		select {
+		case <-time.After(25 * time.Millisecond):
+		case <-c.ctx.Done():
+			return
+		}
+	}
+	select {
+	case <-time.After(c.cfg.DrainSettle):
+	case <-c.ctx.Done():
+		return
+	}
+	for _, r := range removed {
+		if _, err := c.rpc(r.node, &Message{Type: TypeStop, Seg: r.u.name}); err != nil {
+			c.logf("autoscale stop of %s on %s: %v", r.u.name, r.node, err)
+		}
+		c.event(obs.Event{Type: obs.EventDrained, Pipeline: g.pipe, Unit: r.u.name,
+			Node: r.node, Detail: "autoscale scale-in"})
+	}
+	c.kickReconcile()
+}

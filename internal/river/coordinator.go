@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -28,6 +29,16 @@ type SegmentSpec struct {
 	// segment types must be record-preserving and deterministic (e.g.
 	// "relay") for the copies to deduplicate.
 	Replicas int `json:"replicas,omitempty"`
+	// Shards, when > 1, runs the segment data-parallel behind a
+	// partitioner/collector pair (protocol v8): the partitioner hashes
+	// each record's stream identity to one of K shard instances and the
+	// collector restores the original order, so a CPU-bound segment
+	// scales with K instead of being capped by one core. Where replicas
+	// are N identical copies for fault tolerance, shards split the work.
+	// Shards is the boot K; the autoscaler (Config.Autoscale) may grow
+	// and shrink the live K within its bounds at runtime. Sharded types
+	// must be record-preserving; exclusive with Replicas > 1.
+	Shards int `json:"shards,omitempty"`
 }
 
 // PipelineSpec is one desired topology the coordinator maintains: an
@@ -62,6 +73,12 @@ func (p PipelineSpec) validate() error {
 		}
 		if sp.Replicas < 0 {
 			return fmt.Errorf("river: segment %q: negative replica count", sp.Name)
+		}
+		if sp.Shards < 0 {
+			return fmt.Errorf("river: segment %q: negative shard count", sp.Name)
+		}
+		if sp.Shards > 1 && sp.Replicas > 1 {
+			return fmt.Errorf("river: segment %q: sharding and replication of one segment are exclusive", sp.Name)
 		}
 		if seen[sp.Name] {
 			return fmt.Errorf("river: duplicate segment name %q", sp.Name)
@@ -162,6 +179,10 @@ type Config struct {
 	// Remediate parameterizes the anomaly-driven remediation policy; the
 	// zero value observes without acting (see RemediateConfig).
 	Remediate RemediateConfig
+	// Autoscale parameterizes the shard autoscaler, which grows and
+	// shrinks sharded segments' live K against heartbeat saturation
+	// telemetry; the zero value leaves it off (see AutoscaleConfig).
+	Autoscale AutoscaleConfig
 	// Logf, when set, receives control-plane event logs.
 	Logf func(format string, args ...any)
 }
@@ -251,9 +272,11 @@ type Coordinator struct {
 	// disconnected maps a dropped node to the deadline its units stay
 	// presumed-alive awaiting a reconnect-and-adopt (Config.DisconnectGrace).
 	disconnected map[string]time.Time
-	// watchers maps an entry-watch subscription to the pipeline ID it
-	// follows.
-	watchers     map[*wire]string
+	// watchers maps an entry-watch subscription to its fan-out state:
+	// each watcher has a dedicated sender goroutine fed through a
+	// latest-wins cell, so entry broadcasts never serialize the control
+	// plane (or each other) behind one slow watcher connection.
+	watchers     map[*wire]*entryWatcher
 	conns        map[net.Conn]struct{}
 	nextID       uint64
 	bootstrapped bool // cluster reached MinNodes at least once
@@ -276,12 +299,50 @@ type Coordinator struct {
 	metricsStop func() error
 	// rem holds the remediation policy's guardrail state (see remediate.go).
 	rem *remediator
+	// as holds the shard autoscaler's guardrail state (see autoscale.go).
+	as *autoscaler
+	// drainsActive counts planned drains in flight, so the autoscaler can
+	// suppress resizes while an operator is moving units around.
+	drainsActive atomic.Int32
 }
 
 // stopReq names a segment instance to stop on a node.
 type stopReq struct {
 	node string
 	seg  string
+}
+
+// entryWatcher is one entry-watch subscription: the pipeline it follows
+// and the latest-wins handoff cell its sender goroutine drains. Entry
+// updates are idempotent latest-state notifications, so a watcher that
+// falls behind skips intermediate addresses instead of queueing them —
+// the cell holds at most one pending update.
+type entryWatcher struct {
+	pipe string
+	mu   sync.Mutex
+	next *Message      // latest unsent update (nil = none)
+	kick chan struct{} // cap 1: wakes the sender
+	done chan struct{} // closed by dropWatcher
+}
+
+// offer replaces the pending update and wakes the sender.
+func (ew *entryWatcher) offer(m *Message) {
+	ew.mu.Lock()
+	ew.next = m
+	ew.mu.Unlock()
+	select {
+	case ew.kick <- struct{}{}:
+	default:
+	}
+}
+
+// take claims the pending update, or nil.
+func (ew *entryWatcher) take() *Message {
+	ew.mu.Lock()
+	m := ew.next
+	ew.next = nil
+	ew.mu.Unlock()
+	return m
 }
 
 // entryBoundaryWindow is how long an entry drain waits for watching
@@ -303,6 +364,9 @@ func (c Config) bootPipelines() []PipelineSpec {
 func NewCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Remediate.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Autoscale.validate(); err != nil {
 		return nil, err
 	}
 	boot := cfg.bootPipelines()
@@ -340,13 +404,14 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		st:           st,
 		nodes:        make(map[string]*member),
 		disconnected: make(map[string]time.Time),
-		watchers:     make(map[*wire]string),
+		watchers:     make(map[*wire]*entryWatcher),
 		conns:        make(map[net.Conn]struct{}),
 		rem: &remediator{
 			cfg:      cfg.Remediate.withDefaults(),
 			lastTry:  make(map[string]time.Time),
 			inflight: make(map[string]bool),
 		},
+		as: newAutoscaler(cfg.Autoscale.withDefaults()),
 	}
 	c.setupObs()
 	if cfg.MetricsAddr != "" {
@@ -382,6 +447,10 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	c.wg.Add(1)
 	go c.remediateLoop()
+	if c.as.cfg.Enabled {
+		c.wg.Add(1)
+		go c.autoscaleLoop()
+	}
 	return c, nil
 }
 
@@ -492,14 +561,17 @@ func (c *Coordinator) RemovePipeline(id string) error {
 		c.pendingStops = append(c.pendingStops, stopReq{node: p.node, seg: p.u.name})
 	}
 	var ws []*wire
-	for w, pipe := range c.watchers {
-		if pipe == id {
+	var ews []*entryWatcher
+	for w, ew := range c.watchers {
+		if ew.pipe == id {
 			ws = append(ws, w)
+			ews = append(ews, ew)
 			delete(c.watchers, w)
 		}
 	}
 	c.mu.Unlock()
-	for _, w := range ws {
+	for i, w := range ws {
+		close(ews[i].done)
 		_ = w.close()
 	}
 	c.event(obs.Event{Type: obs.EventPipelineRemove, Pipeline: id,
@@ -889,33 +961,39 @@ func inventoryStats(inv []UnitInventory) []SegmentStatus {
 // with an error ack so the watcher does not hang on silence.
 func (c *Coordinator) serveWatcher(w *wire, pipe string) {
 	c.mu.Lock()
-	if _, ok := c.st.pipelines[pipe]; !ok {
+	ps := c.st.pipelines[pipe]
+	if ps == nil {
 		c.mu.Unlock()
 		_ = w.send(&Message{Type: TypeAck, Err: fmt.Sprintf("unknown pipeline %q", pipe)})
 		return
 	}
-	c.watchers[w] = pipe
+	ew := &entryWatcher{pipe: pipe, kick: make(chan struct{}, 1), done: make(chan struct{})}
+	c.watchers[w] = ew
+	// Seed the cell with the current address before releasing mu: any
+	// broadcast that lands later carries a newer address and overwrites
+	// it (latest wins), so the watcher's last word is always current.
+	ew.offer(&Message{Type: TypeEntry, Addr: ps.entryAddr, Pipeline: pipe})
 	c.mu.Unlock()
-	// Send the current address, re-reading until it is stable: a setEntry
-	// broadcast racing this initial send could otherwise slip in first and
-	// leave the stale address as the watcher's last word.
-	lastSent := ""
-	for {
-		c.mu.Lock()
-		cur := ""
-		if ps := c.st.pipelines[pipe]; ps != nil {
-			cur = ps.entryAddr
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case <-ew.done:
+				return
+			case <-c.ctx.Done():
+				return
+			case <-ew.kick:
+			}
+			for m := ew.take(); m != nil; m = ew.take() {
+				if err := w.send(m); err != nil {
+					c.dropWatcher(w)
+					_ = w.close()
+					return
+				}
+			}
 		}
-		c.mu.Unlock()
-		if cur == lastSent {
-			break
-		}
-		if err := w.send(&Message{Type: TypeEntry, Addr: cur, Pipeline: pipe}); err != nil {
-			c.dropWatcher(w)
-			return
-		}
-		lastSent = cur
-	}
+	}()
 	for {
 		if _, err := w.recv(); err != nil {
 			c.dropWatcher(w)
@@ -924,10 +1002,17 @@ func (c *Coordinator) serveWatcher(w *wire, pipe string) {
 	}
 }
 
+// dropWatcher unregisters an entry watcher and stops its sender. Safe to
+// call twice (the recv loop and the sender both drop on error): only the
+// caller that removes the map row closes the sender's done channel.
 func (c *Coordinator) dropWatcher(w *wire) {
 	c.mu.Lock()
+	ew := c.watchers[w]
 	delete(c.watchers, w)
 	c.mu.Unlock()
+	if ew != nil {
+		close(ew.done)
+	}
 }
 
 // markDead removes a node; in-flight RPCs against it fail immediately.
@@ -1067,6 +1152,11 @@ func (c *Coordinator) reconcile() {
 }
 
 // reconcilePipeline runs one reconcile pass over one pipeline's chain.
+// Replicated and sharded groups share one shape — fan-in endpoint first,
+// then the legs, then the fan-out endpoint, which is the group's entry
+// point — so the same walk reconciles both; only the roles carried in the
+// assigns differ. The unit slice is snapshotted under mu because a shard
+// autoscale can resize it mid-pass.
 func (c *Coordinator) reconcilePipeline(ps *pipelineState) {
 	specs := ps.spec.Segments
 	for i := len(specs) - 1; i >= 0; i-- {
@@ -1077,19 +1167,21 @@ func (c *Coordinator) reconcilePipeline(ps *pipelineState) {
 		if i < len(specs)-1 {
 			down = c.entryAddrOf(ps, i+1)
 		}
-		us := ps.unitsBySpec[i]
+		c.mu.Lock()
+		us := append([]unit(nil), ps.unitsBySpec[i]...)
+		c.mu.Unlock()
 		if len(us) == 1 {
 			c.ensureUnit(us[0], down)
 			continue
 		}
-		mergeAddr := c.ensureUnit(us[0], down)
+		fanInAddr := c.ensureUnit(us[0], down)
 		legs := make([]string, 0, len(us)-2)
 		for _, u := range us[1 : len(us)-1] {
-			if a := c.ensureUnit(u, mergeAddr); a != "" {
+			if a := c.ensureUnit(u, fanInAddr); a != "" {
 				legs = append(legs, a)
 			}
 		}
-		c.ensureSplitter(us[len(us)-1], legs)
+		c.ensureFanOut(us[len(us)-1], legs)
 	}
 	if e := c.entryAddrOf(ps, 0); e != "" {
 		c.setEntry(ps.id, e)
@@ -1189,8 +1281,8 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 			return ""
 		}
 		msg := &Message{Type: TypeAssign, Seg: u.name, SegType: u.typ, Downstream: down}
-		if u.role == RoleMerge {
-			msg.Role, msg.Group = RoleMerge, u.group
+		if u.role == RoleMerge || u.role == RoleCollect {
+			msg.Role, msg.Group = u.role, u.group
 		}
 		a, err := c.assign(pick, msg)
 		if err != nil {
@@ -1251,12 +1343,17 @@ func (c *Coordinator) ensureUnit(u unit, down string) string {
 	return addr
 }
 
-// ensureSplitter places the group's splitter once at least one replica
-// leg exists, or reconciles a live splitter's leg set against the placed
-// replicas (dropping dead legs, splicing re-placed ones in). Each
-// assignment advances the group's epoch so the merger can tell a fresh
-// splitter's numbering from its predecessor's.
-func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
+// ensureFanOut places a group's fan-out endpoint — a replication
+// splitter or a shard partitioner — once at least one leg exists, or
+// reconciles a live endpoint's leg set against the placed legs (dropping
+// dead legs, splicing re-placed, resized or drained ones in). Each
+// assignment advances the group's epoch so the fan-in endpoint can tell a
+// fresh incarnation's numbering from its predecessor's.
+func (c *Coordinator) ensureFanOut(u unit, legs []string) string {
+	kind := "splitter"
+	if u.role == RolePartition {
+		kind = "partitioner"
+	}
 	sort.Strings(legs)
 	p, node, addr, _, last, live := c.unitHost(u)
 	if !live || len(legs) == 0 {
@@ -1265,18 +1362,18 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 	if node == "" {
 		pick := c.pickNode(u, "")
 		if pick == "" {
-			c.logf("splitter %s waiting: no eligible nodes", u.name)
+			c.logf("%s %s waiting: no eligible nodes", kind, u.name)
 			return ""
 		}
 		c.mu.Lock()
 		epoch := c.st.bumpGroupEpoch(u.group)
 		c.mu.Unlock()
 		a, err := c.assign(pick, &Message{
-			Type: TypeAssign, Seg: u.name, Role: RoleSplit, Group: u.group,
+			Type: TypeAssign, Seg: u.name, Role: u.role, Group: u.group,
 			Downstreams: legs, Epoch: epoch,
 		})
 		if err != nil {
-			c.logf("assign splitter %s to %s: %v", u.name, pick, err)
+			c.logf("assign %s %s to %s: %v", kind, u.name, pick, err)
 			return ""
 		}
 		c.mu.Lock()
@@ -1296,7 +1393,7 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 			addr := p.addr
 			c.mu.Unlock()
 			c.kickReconcile()
-			c.logf("splitter %s adopted on %s during assign; stopping duplicate on %s", u.name, p.node, pick)
+			c.logf("%s %s adopted on %s during assign; stopping duplicate on %s", kind, u.name, p.node, pick)
 			return addr
 		}
 		typ := obs.EventPlace
@@ -1310,7 +1407,7 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 		c.mu.Unlock()
 		c.event(obs.Event{Type: typ, Unit: u.name, Node: pick, Addr: a,
 			Detail: fmt.Sprintf("epoch %d, %d legs", epoch, len(legs))})
-		c.logf("splitter %s placed on %s at %s (epoch %d, %d legs)", u.name, pick, a, epoch, len(legs))
+		c.logf("%s %s placed on %s at %s (epoch %d, %d legs)", kind, u.name, pick, a, epoch, len(legs))
 		return a
 	}
 	if !slices.Equal(last, legs) {
@@ -1325,7 +1422,7 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 		}
 		c.mu.Unlock()
 		c.event(obs.Event{Type: obs.EventLegs, Unit: u.name, Node: node, Value: float64(len(legs))})
-		c.logf("splitter %s legs now %v", u.name, legs)
+		c.logf("%s %s legs now %v", kind, u.name, legs)
 	}
 	return addr
 }
@@ -1336,12 +1433,14 @@ func (c *Coordinator) ensureSplitter(u unit, legs []string) string {
 // since the node pool is shared — plus the flow telemetry from its
 // latest heartbeat, and whether it hosts a topology neighbor of u within
 // u's own pipeline (an adjacent spec segment, or a unit of u's own
-// replication group), so policies can spread chains across failure
-// domains without pipelines penalizing each other's placements. Replicas
-// go further: candidates hosting a sibling replica are excluded outright
-// while any alternative exists, so the copies land on distinct nodes
-// under every policy. Returns "" until MinNodes nodes have registered at
-// least once (the bootstrap gate).
+// replication or shard group), so policies can spread chains across
+// failure domains without pipelines penalizing each other's placements.
+// Replicas and shard legs go further: candidates hosting a sibling
+// replica (or sibling shard leg) are excluded outright while any
+// alternative exists — replicas so the copies survive a node loss, shard
+// legs so the data-parallel CPU work actually lands on distinct cores.
+// Returns "" until MinNodes nodes have registered at least once (the
+// bootstrap gate).
 func (c *Coordinator) pickNode(u unit, exclude string) string {
 	c.mu.Lock()
 	ps := c.st.pipelineOf(u)
@@ -1374,7 +1473,8 @@ func (c *Coordinator) pickNode(u unit, exclude string) string {
 			continue
 		}
 		neighbors[p.node] = true
-		if u.role == RoleReplica && v.role == RoleReplica {
+		if (u.role == RoleReplica && v.role == RoleReplica) ||
+			(u.role == RoleShard && v.role == RoleShard) {
 			siblings[p.node] = true
 		}
 	}
@@ -1404,8 +1504,8 @@ func (c *Coordinator) pickNode(u unit, exclude string) string {
 		cands = append(cands, *nl)
 	}
 	if len(cands) == 0 && len(siblings) > 0 {
-		// Fewer nodes than replicas: better a co-located replica than an
-		// unplaced one.
+		// Fewer nodes than legs: better a co-located replica or shard than
+		// an unplaced one.
 		for name, nl := range load {
 			if name != exclude {
 				cands = append(cands, *nl)
@@ -1425,16 +1525,20 @@ func (c *Coordinator) pickNode(u unit, exclude string) string {
 // pipeline's replica).
 //
 // For a replica unit the splice is a splitter leg swap (the merger's
-// dedup makes the handover invisible at any stream position). For an
+// dedup makes the handover invisible at any stream position); a shard
+// leg drains the same way via its partitioner, whose retiring leg
+// flushes its queue through the old instance before the stop. For an
 // ordinary segment the upstream neighbor redirects at the next top-level
 // scope boundary, so the old instance's final connection ends with a
 // structurally complete stream; draining a pipeline's entry segment
 // publishes the new address immediately (external sources redirect
-// eagerly). Splitter/merger endpoints cannot be drained — move their
-// replicas.
+// eagerly). Splitter/merger and partition/collect endpoints cannot be
+// drained — move their legs.
 func (c *Coordinator) Drain(unitName string) error {
 	c.drainMu.Lock()
 	defer c.drainMu.Unlock()
+	c.drainsActive.Add(1)
+	defer c.drainsActive.Add(-1)
 	c.mu.Lock()
 	p := c.st.placements[unitName]
 	if p == nil {
@@ -1451,6 +1555,8 @@ func (c *Coordinator) Drain(unitName string) error {
 	switch u.role {
 	case RoleSplit, RoleMerge:
 		return errors.New("river: draining a replication endpoint is not supported; drain its replicas instead")
+	case RolePartition, RoleCollect:
+		return errors.New("river: draining a shard endpoint is not supported; drain its shard legs instead")
 	}
 	if oldNode == "" {
 		return fmt.Errorf("river: %q is not placed", unitName)
@@ -1478,8 +1584,11 @@ func (c *Coordinator) Drain(unitName string) error {
 	var onCommit func()
 	entryDrain := false
 	switch {
-	case u.role == RoleReplica:
+	case u.role == RoleReplica, u.role == RoleShard:
 		splitName := u.group + "/split"
+		if u.role == RoleShard {
+			splitName = u.group + "/partition"
+		}
 		c.mu.Lock()
 		sp := c.st.placements[splitName]
 		splitNode := ""
@@ -1562,11 +1671,11 @@ func (c *Coordinator) Drain(unitName string) error {
 	if onCommit != nil {
 		onCommit()
 	}
-	var ws []*wire
+	var ews []*entryWatcher
 	if entryDrain && c.st.setEntry(u.pipe, newAddr) {
-		for w, pipe := range c.watchers {
-			if pipe == u.pipe {
-				ws = append(ws, w)
+		for _, ew := range c.watchers {
+			if ew.pipe == u.pipe {
+				ews = append(ews, ew)
 			}
 		}
 	}
@@ -1574,7 +1683,7 @@ func (c *Coordinator) Drain(unitName string) error {
 	if entryDrain {
 		c.event(obs.Event{Type: obs.EventEntry, Pipeline: u.pipe, Addr: newAddr, Detail: "boundary drain"})
 		c.logf("pipeline %q entry now %s (boundary drain)", u.pipe, newAddr)
-		c.broadcastEntry(ws, u.pipe, newAddr, true)
+		c.broadcastEntry(ews, u.pipe, newAddr, true)
 	}
 	c.event(obs.Event{Type: obs.EventDrained, Unit: unitName, Node: dest, Addr: newAddr,
 		Detail: "from " + oldNode})
@@ -1675,10 +1784,10 @@ func (c *Coordinator) setEntry(pipe, addr string) {
 		c.mu.Unlock()
 		return
 	}
-	var ws []*wire
-	for w, id := range c.watchers {
-		if id == pipe {
-			ws = append(ws, w)
+	var ews []*entryWatcher
+	for _, ew := range c.watchers {
+		if ew.pipe == pipe {
+			ews = append(ews, ew)
 		}
 	}
 	c.mu.Unlock()
@@ -1688,19 +1797,17 @@ func (c *Coordinator) setEntry(pipe, addr string) {
 	} else {
 		c.logf("pipeline %q entry now %s", pipe, addr)
 	}
-	c.broadcastEntry(ws, pipe, addr, false)
+	c.broadcastEntry(ews, pipe, addr, false)
 }
 
-// broadcastEntry notifies a pipeline's watchers (and, for the default
-// pipeline, the OnEntryChange hook) of an entry address; boundary asks
-// watching sources to switch at their next top-level scope boundary
-// rather than immediately.
-func (c *Coordinator) broadcastEntry(ws []*wire, pipe, addr string, boundary bool) {
-	for _, w := range ws {
-		if err := w.send(&Message{Type: TypeEntry, Addr: addr, Pipeline: pipe, Boundary: boundary}); err != nil {
-			c.dropWatcher(w)
-			_ = w.close()
-		}
+// broadcastEntry hands an entry address to a pipeline's watchers' sender
+// goroutines (and, for the default pipeline, the OnEntryChange hook);
+// boundary asks watching sources to switch at their next top-level scope
+// boundary rather than immediately. The handoff never blocks: each
+// watcher's own sender performs the network write.
+func (c *Coordinator) broadcastEntry(ews []*entryWatcher, pipe, addr string, boundary bool) {
+	for _, ew := range ews {
+		ew.offer(&Message{Type: TypeEntry, Addr: addr, Pipeline: pipe, Boundary: boundary})
 	}
 	if pipe == "" && c.cfg.OnEntryChange != nil {
 		c.cfg.OnEntryChange(addr)

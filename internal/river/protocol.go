@@ -22,6 +22,21 @@ import (
 )
 
 // ProtocolVersion is the control protocol revision this build speaks.
+// Version 8 added keyed stream sharding and the elastic autoscaler. A
+// segment spec may declare Shards: K, expanding into a partitioner that
+// hashes each record's stream identity to one of K parallel shard
+// instances and a collector that restores the original order with the
+// replica merger's reorder machinery. Assign messages reuse the v3 role
+// plumbing with two new roles (RolePartition, RoleCollect; shard legs are
+// placement-only like replicas), "legs" updates retarget a live
+// partitioner's shard set exactly as they retarget a splitter's, and the
+// state journal gains a "shardk" op recording the live per-group K so an
+// autoscaled topology survives coordinator restarts. Events gain an
+// "autoscale" type (triggered/scale_out/scale_in/suppressed phases)
+// emitted by the coordinator's autoscaler as it grows and shrinks K
+// against heartbeat saturation telemetry. All additions are optional
+// JSON fields and new constant values in existing fields, so v7 peers
+// interoperate on unsharded pipelines.
 // Version 7 closed the observe→act loop and added data-plane latency
 // tracing. Heartbeats carry per-segment detector alert counts and
 // unit/end-to-end latency quantiles (alerts, lat_p50_us..e2e_p99_us),
@@ -67,7 +82,7 @@ import (
 // Agents announce their version in the register message; the coordinator
 // records it and echoes its own in the ack, so operators can spot
 // mixed-version clusters in status output.
-const ProtocolVersion = 7
+const ProtocolVersion = 8
 
 // Control message types. Register, heartbeat and ack flow from agents to
 // the coordinator; assign, redirect and stop flow the other way. Status
@@ -142,15 +157,18 @@ type Message struct {
 	Downstream string `json:"downstream,omitempty"`
 	// Role selects what an assign instantiates (protocol v3): absent for
 	// an ordinary segment, RoleSplit for a replication splitter, RoleMerge
-	// for a merger.
+	// for a merger; protocol v8 adds RolePartition for a shard partitioner
+	// and RoleCollect for a shard collector.
 	Role string `json:"role,omitempty"`
-	// Group names the replicated segment group a splitter or merger
+	// Group names the replicated or sharded segment group a fan endpoint
 	// serves (assign with a role).
 	Group string `json:"group,omitempty"`
-	// Downstreams carries a splitter's replica leg addresses (assign with
-	// RoleSplit, and legs updates).
+	// Downstreams carries a splitter's replica leg addresses or a
+	// partitioner's shard leg addresses (assign with RoleSplit or
+	// RolePartition, and legs updates).
 	Downstreams []string `json:"downstreams,omitempty"`
-	// Epoch is the splitter incarnation (assign with RoleSplit).
+	// Epoch is the splitter or partitioner incarnation (assign with
+	// RoleSplit or RolePartition).
 	Epoch uint16 `json:"epoch,omitempty"`
 	// Boundary defers a redirect to the next top-level scope boundary
 	// (redirect during a planned drain) instead of switching immediately;
@@ -287,12 +305,17 @@ type SegmentStatus struct {
 	Err    string `json:"seg_err,omitempty"`
 }
 
-// Unit roles in a replicated segment group (protocol v3). RoleReplica is
-// placement-only: replicas travel the wire as ordinary segment assigns.
+// Unit roles in a replicated segment group (protocol v3) and a sharded
+// segment group (protocol v8). RoleReplica and RoleShard are
+// placement-only: replica and shard instances travel the wire as ordinary
+// segment assigns.
 const (
-	RoleSplit   = "split"
-	RoleMerge   = "merge"
-	RoleReplica = "replica"
+	RoleSplit     = "split"
+	RoleMerge     = "merge"
+	RoleReplica   = "replica"
+	RolePartition = "partition"
+	RoleCollect   = "collect"
+	RoleShard     = "shard"
 )
 
 // LagValue returns the segment's cumulative processed−emitted delta

@@ -16,7 +16,8 @@ import (
 )
 
 // unit is one placeable instance derived from a pipeline's spec: a plain
-// segment, or one of the merger/replica/splitter roles a replicated
+// segment, one of the merger/replica/splitter roles a replicated segment
+// expands into, or one of the collector/shard/partitioner roles a sharded
 // segment expands into. Unit names are pipeline-scoped (see scopedName)
 // and double as the hosted instance names on agents, so one agent can
 // host units of many pipelines without collisions.
@@ -24,9 +25,9 @@ type unit struct {
 	name  string // scoped placement key, e.g. "extract" or "pA:extract/r2"
 	pipe  string // owning pipeline ID ("" for the back-compat default)
 	group string // scoped owning spec segment name
-	typ   string // registry type ("" for splitter/merger endpoints)
-	role  string // "", RoleSplit, RoleMerge, RoleReplica
-	idx   int    // replica ordinal (1-based) for RoleReplica
+	typ   string // registry type ("" for fan endpoints)
+	role  string // "", RoleSplit, RoleMerge, RoleReplica, RolePartition, RoleCollect, RoleShard
+	idx   int    // replica/shard ordinal (1-based) for RoleReplica/RoleShard
 }
 
 // scopedName prefixes a unit or group name with its pipeline ID. The
@@ -42,9 +43,33 @@ func scopedName(pipe, name string) string {
 
 // expandSpec derives the placement units of one spec segment, in
 // placement order: downstream-most first (merger, then replicas, then the
-// splitter — which is the group's entry point for upstream traffic).
+// splitter — which is the group's entry point for upstream traffic; for a
+// sharded segment the collector, then shard legs, then the partitioner).
 func expandSpec(pipe string, sp SegmentSpec) []unit {
+	return expandSpecK(pipe, sp, sp.Shards)
+}
+
+// expandSpecK is expandSpec with the sharded segment's live K overriding
+// the spec's boot value — the autoscaler grows and shrinks K at runtime,
+// and the journaled override must re-expand through the same code path.
+// A sharded segment keeps the partition/collect structure even at K=1, so
+// scaling in never restructures the wire topology.
+func expandSpecK(pipe string, sp SegmentSpec, shards int) []unit {
 	group := scopedName(pipe, sp.Name)
+	if sp.Shards > 1 {
+		if shards < 1 {
+			shards = sp.Shards
+		}
+		us := make([]unit, 0, shards+2)
+		us = append(us, unit{name: group + "/collect", pipe: pipe, group: group, role: RoleCollect})
+		for i := 1; i <= shards; i++ {
+			us = append(us, unit{
+				name: fmt.Sprintf("%s/s%d", group, i), pipe: pipe, group: group,
+				typ: sp.Type, role: RoleShard, idx: i,
+			})
+		}
+		return append(us, unit{name: group + "/partition", pipe: pipe, group: group, role: RolePartition})
+	}
 	if sp.Replicas <= 1 {
 		return []unit{{name: group, pipe: pipe, group: group, typ: sp.Type}}
 	}
@@ -78,8 +103,11 @@ type placement struct {
 
 // pipelineState is the per-pipeline half of the topology tables: the
 // spec, the placement units it expands into, and the pipeline's entry
-// address. The unit tables are immutable for a pipeline's lifetime — a
-// topology change is a pipeline remove + add.
+// address. The unit tables are immutable for a pipeline's lifetime with
+// one exception: a sharded segment's leg count may be resized in place
+// (see state.setShardK) — the autoscaler's whole point is a topology
+// change without a pipeline remove + add. Every other topology change is
+// still a remove + add.
 type pipelineState struct {
 	id          string
 	spec        PipelineSpec
@@ -117,7 +145,8 @@ type state struct {
 
 	epoch      uint64                // coordinator incarnation (1 fresh, +1 per reload)
 	placements map[string]*placement // keyed by scoped unit name
-	epochs     map[string]uint16     // per-group splitter incarnations (scoped)
+	epochs     map[string]uint16     // per-group splitter/partitioner incarnations (scoped)
+	shardK     map[string]int        // live shard counts overriding spec K (scoped group)
 
 	dir       string   // "" = memory-only, no journaling
 	lock      *os.File // flock guarding the directory against a second coordinator
@@ -159,20 +188,25 @@ type snapshotFile struct {
 	// Entry is the default pipeline's entry address — the v4 field, kept
 	// so a v4 snapshot loads and a single-pipeline snapshot stays
 	// readable by v4 tooling. Entries carries every pipeline's.
-	Entry       string                     `json:"entry,omitempty"`
-	Entries     map[string]string          `json:"entries,omitempty"`
-	Pipelines   []PipelineSpec             `json:"pipelines,omitempty"`
-	GroupEpochs map[string]uint16          `json:"group_epochs,omitempty"`
-	Placements  map[string]placementRecord `json:"placements"`
+	Entry       string            `json:"entry,omitempty"`
+	Entries     map[string]string `json:"entries,omitempty"`
+	Pipelines   []PipelineSpec    `json:"pipelines,omitempty"`
+	GroupEpochs map[string]uint16 `json:"group_epochs,omitempty"`
+	// ShardK records the live per-group shard counts where the autoscaler
+	// has moved them off the spec's boot value (protocol v8), keyed by
+	// scoped group name; it is applied before placements so shard-leg
+	// placements land in an already-resized unit table.
+	ShardK     map[string]int             `json:"shard_k,omitempty"`
+	Placements map[string]placementRecord `json:"placements"`
 }
 
 type journalEntry struct {
-	Op    string           `json:"op"` // "place", "entry", "gepoch", "pipeadd", "piperm"
+	Op    string           `json:"op"` // "place", "entry", "gepoch", "shardk", "pipeadd", "piperm"
 	Unit  string           `json:"unit,omitempty"`
 	P     *placementRecord `json:"p,omitempty"`
 	Entry string           `json:"entry,omitempty"`
 	Group string           `json:"group,omitempty"`
-	Val   uint16           `json:"val,omitempty"`
+	Val   uint16           `json:"val,omitempty"` // gepoch incarnation or shardk live K
 	// Pipe scopes an "entry" to a pipeline (absent = the default
 	// pipeline, which is what a v4 journal wrote) and names the pipeline
 	// a "pipeadd"/"piperm" creates or deletes.
@@ -207,6 +241,7 @@ func newState(dir string, boot []PipelineSpec, fsync bool, flushIvl time.Duratio
 		pipelines:  make(map[string]*pipelineState),
 		placements: make(map[string]*placement),
 		epochs:     make(map[string]uint16),
+		shardK:     make(map[string]int),
 		epoch:      1,
 		dir:        dir,
 		snapEvery:  defaultSnapEvery,
@@ -265,9 +300,14 @@ func (s *state) insertPipeline(spec PipelineSpec) *pipelineState {
 		specIndex: make(map[string]int),
 	}
 	for i, sp := range spec.Segments {
-		us := expandSpec(spec.ID, sp)
+		group := scopedName(spec.ID, sp.Name)
+		k := sp.Shards
+		if v, ok := s.shardK[group]; ok {
+			k = v
+		}
+		us := expandSpecK(spec.ID, sp, k)
 		ps.unitsBySpec = append(ps.unitsBySpec, us)
-		ps.specIndex[scopedName(spec.ID, sp.Name)] = i
+		ps.specIndex[group] = i
 		for _, u := range us {
 			ps.units = append(ps.units, u)
 			s.placements[u.name] = &placement{u: u}
@@ -303,6 +343,7 @@ func (s *state) removePipeline(id string) (placed []placement) {
 		}
 		delete(s.placements, u.name)
 		delete(s.epochs, u.group)
+		delete(s.shardK, u.group)
 	}
 	delete(s.pipelines, id)
 	if i := slices.Index(s.order, id); i >= 0 {
@@ -348,6 +389,9 @@ func (s *state) load() (bool, error) {
 		for g, e := range snap.GroupEpochs {
 			s.epochs[g] = e
 		}
+		for g, k := range snap.ShardK {
+			s.applyShardKLoaded(g, k)
+		}
 		for name, pr := range snap.Placements {
 			s.applyRecord(name, pr)
 		}
@@ -383,6 +427,8 @@ func (s *state) load() (bool, error) {
 				s.setEntryLoaded(e.Pipe, e.Entry)
 			case "gepoch":
 				s.epochs[e.Group] = e.Val
+			case "shardk":
+				s.applyShardKLoaded(e.Group, int(e.Val))
 			case "pipeadd":
 				if e.Spec != nil {
 					s.replacePipeline(*e.Spec)
@@ -425,6 +471,7 @@ func (s *state) removePipelineLoaded(id string) {
 	for _, u := range ps.units {
 		delete(s.placements, u.name)
 		delete(s.epochs, u.group)
+		delete(s.shardK, u.group)
 	}
 	delete(s.pipelines, id)
 	if i := slices.Index(s.order, id); i >= 0 {
@@ -494,8 +541,75 @@ func (s *state) setEntry(pipe, addr string) bool {
 	return true
 }
 
-// bumpGroupEpoch advances (and journals) a replication group's splitter
-// incarnation.
+// resizeShard rewrites one sharded spec segment's slice of the unit
+// tables for a new live K: shard units past the new K lose their table
+// rows (their placed instances are returned for the caller to stop after
+// the partitioner has been re-spliced off them), fresh shard units get
+// empty placements for the reconcile loop to fill, and the collector and
+// partitioner rows survive untouched — the endpoints stay live across a
+// resize, only the leg set between them changes.
+func (s *state) resizeShard(ps *pipelineState, idx, k int) (removed []placement) {
+	sp := ps.spec.Segments[idx]
+	nu := expandSpecK(ps.id, sp, k)
+	keep := make(map[string]bool, len(nu))
+	for _, u := range nu {
+		keep[u.name] = true
+	}
+	for _, u := range ps.unitsBySpec[idx] {
+		if keep[u.name] {
+			continue
+		}
+		if p := s.placements[u.name]; p != nil {
+			if p.node != "" {
+				removed = append(removed, *p)
+			}
+			delete(s.placements, u.name)
+		}
+	}
+	for _, u := range nu {
+		if _, ok := s.placements[u.name]; !ok {
+			s.placements[u.name] = &placement{u: u}
+		}
+	}
+	ps.unitsBySpec[idx] = nu
+	ps.units = ps.units[:0]
+	for _, us := range ps.unitsBySpec {
+		ps.units = append(ps.units, us...)
+	}
+	s.shardK[scopedName(ps.id, sp.Name)] = k
+	return removed
+}
+
+// setShardK resizes a sharded segment's live K and journals the override,
+// so an autoscaled topology survives a coordinator restart.
+func (s *state) setShardK(ps *pipelineState, idx, k int) []placement {
+	removed := s.resizeShard(ps, idx, k)
+	s.append(journalEntry{
+		Op: "shardk", Group: scopedName(ps.id, ps.spec.Segments[idx].Name), Val: uint16(k),
+	})
+	return removed
+}
+
+// applyShardKLoaded applies a persisted shard-K override during load,
+// ignoring groups the current pipeline set no longer declares sharded
+// (the spec changed across the restart; the boot value wins).
+func (s *state) applyShardKLoaded(group string, k int) {
+	for _, id := range s.order {
+		ps := s.pipelines[id]
+		idx, ok := ps.specIndex[group]
+		if !ok {
+			continue
+		}
+		if ps.spec.Segments[idx].Shards <= 1 || k < 1 {
+			return
+		}
+		s.resizeShard(ps, idx, k)
+		return
+	}
+}
+
+// bumpGroupEpoch advances (and journals) a replication or shard group's
+// fan-out incarnation.
 func (s *state) bumpGroupEpoch(group string) uint16 {
 	s.epochs[group]++
 	s.append(journalEntry{Op: "gepoch", Group: group, Val: s.epochs[group]})
@@ -629,6 +743,12 @@ func (s *state) snapshot() error {
 	for g, e := range s.epochs {
 		snap.GroupEpochs[g] = e
 	}
+	if len(s.shardK) > 0 {
+		snap.ShardK = make(map[string]int, len(s.shardK))
+		for g, k := range s.shardK {
+			snap.ShardK[g] = k
+		}
+	}
 	for name, p := range s.placements {
 		if p.node == "" {
 			continue
@@ -722,12 +842,12 @@ func (s *state) adopt(node string, inv []UnitInventory) (adopted, stops []string
 		p := s.placements[iu.Name]
 		matches := false
 		if p != nil && !iu.Failed && iu.Addr != "" {
-			// Replicas travel the wire as ordinary segment assigns
-			// (RoleReplica is placement-only), so the agent reports them
-			// with no role or group; match them on name + registry type
-			// like any plain segment.
+			// Replicas and shard legs travel the wire as ordinary segment
+			// assigns (RoleReplica and RoleShard are placement-only), so
+			// the agent reports them with no role or group; match them on
+			// name + registry type like any plain segment.
 			wireRole, wireGroup := p.u.role, p.u.group
-			if wireRole == RoleReplica {
+			if wireRole == RoleReplica || wireRole == RoleShard {
 				wireRole, wireGroup = "", ""
 			}
 			matches = p.u.typ == iu.Type && wireRole == iu.Role &&
@@ -740,7 +860,7 @@ func (s *state) adopt(node string, inv []UnitInventory) (adopted, stops []string
 			p.down = iu.Downstream
 			p.legs = append([]string(nil), iu.Legs...)
 			sort.Strings(p.legs)
-			if iu.Role == RoleSplit {
+			if iu.Role == RoleSplit || iu.Role == RolePartition {
 				p.epoch = iu.Epoch
 				s.observeGroupEpoch(p.u.group, iu.Epoch)
 			}
@@ -753,7 +873,7 @@ func (s *state) adopt(node string, inv []UnitInventory) (adopted, stops []string
 			p.node, p.addr, p.down = node, iu.Addr, iu.Downstream
 			p.legs = append([]string(nil), iu.Legs...)
 			sort.Strings(p.legs)
-			if iu.Role == RoleSplit {
+			if iu.Role == RoleSplit || iu.Role == RolePartition {
 				p.epoch = iu.Epoch
 				s.observeGroupEpoch(p.u.group, iu.Epoch)
 			}

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"repro/internal/record"
+	"repro/internal/replica"
+)
+
+// DefaultCollectWindow is the collector reorder window when
+// CollectorConfig.Window is zero. It must exceed the partition-side
+// in-flight bound — per-leg queue (DefaultLegQueue) × K plus batching
+// slack — or steady-state skew between a slow leg and its siblings is
+// misread as a gap and skipped. 8192 covers K=16 at the default leg
+// queue with room to spare; the memory is a pointer ring, not records.
+const DefaultCollectWindow = 8192
+
+// CollectorConfig parameterizes a Collector.
+type CollectorConfig struct {
+	// Group names the sharded segment group (stream identity).
+	Group string
+	// ListenAddr is the listen address shard legs dial ("host:0" for
+	// ephemeral).
+	ListenAddr string
+	// Window bounds the reorder buffer (default DefaultCollectWindow; see
+	// its comment for the sizing constraint).
+	Window int
+	// Pooled decodes leg records into pool-backed storage and marks the
+	// collector as a recycling source (see replica.MergerConfig.Pooled).
+	Pooled bool
+}
+
+// Collector is a pipeline.Source that accepts the K shard legs of a
+// partitioned segment concurrently and emits their union downstream in
+// the original input order. It is the replica merger's seq-indexed
+// ring-reorder core under the shard stream namespace: the partitioner's
+// global sequence numbering makes total-order restoration (and therefore
+// per-stream order) a plain reorder by annotation, and the same dedup
+// absorbs retransmits from leg re-splices, the same gap-skip bounds the
+// damage of an all-copies loss (for shards: any one leg's loss, since
+// each record exists on exactly one leg), and the same epoch handling
+// resynchronizes after a partitioner re-splice.
+type Collector struct {
+	*replica.Merger
+}
+
+// NewCollector binds the collector's listener.
+func NewCollector(cfg CollectorConfig) (*Collector, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultCollectWindow
+	}
+	m, err := replica.NewMerger(replica.MergerConfig{
+		Group:      cfg.Group,
+		ListenAddr: cfg.ListenAddr,
+		Window:     cfg.Window,
+		Pooled:     cfg.Pooled,
+		Stream:     record.ShardStreamID(cfg.Group),
+		Role:       "collect",
+		// Shard legs each start at whatever sequence first hashed to
+		// them, so the first arrival of an epoch is NOT the stream head;
+		// a zero-based resync waits for it (sound because the window
+		// exceeds the partition-side in-flight bound).
+		ZeroBased: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Collector{Merger: m}, nil
+}

@@ -3,10 +3,13 @@ package repro
 import (
 	"io"
 	"net"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/record"
+	"repro/internal/shard"
 )
 
 // TestBatchWriterFramingZeroAlloc pins the framing layer: once the batch
@@ -83,5 +86,76 @@ func TestStreamOutConsumeZeroAlloc(t *testing.T) {
 	<-drained
 	if perRecord := allocs / 128; perRecord > 0.01 {
 		t.Fatalf("StreamOut.Consume allocates %.3f/record (%.0f/run), want 0", perRecord, allocs)
+	}
+}
+
+// TestShardPathZeroAlloc pins the sharded data plane end to end: a record
+// consumed by the partitioner (pooled copy + replica tag + route), batch-
+// framed over live TCP, decoded into the collector's pooled reader,
+// reordered through the seq ring and released by the sink — all without
+// per-record allocation once the pools and batch buffers have reached
+// their working size. Each measured run waits for the sink to drain so
+// the pool cycle is closed between runs and a queue burst cannot masquer-
+// ade as steady-state allocation.
+func TestShardPathZeroAlloc(t *testing.T) {
+	col, err := shard.NewCollector(shard.CollectorConfig{
+		Group: "za", ListenAddr: "127.0.0.1:0", Pooled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted atomic.Uint64
+	sink := pipeline.EmitterFunc(func(r *record.Record) error {
+		emitted.Add(1)
+		record.Release(r)
+		return nil
+	})
+	runDone := make(chan error, 1)
+	go func() { runDone <- col.Run(sink) }()
+
+	flush := record.DefaultBatchConfig()
+	flush.MaxDelay = 0 // no timer churn: flush purely by batch occupancy
+	p := shard.NewPartitioner(shard.PartitionerConfig{
+		Group: "za", Epoch: 1, Legs: []string{col.Addr()}, Flush: flush,
+	})
+	r := record.NewData(record.SubtypeAudio)
+	r.SetPCM16(make([]int16, 32))
+	var sent uint64
+	settle := func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for emitted.Load() < sent {
+			if time.Now().After(deadline) {
+				t.Fatalf("sink saw %d of %d records", emitted.Load(), sent)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	// Warm: grow the pools, the reorder ring and both batch buffers.
+	for i := 0; i < 1024; i++ {
+		r.SourceID = uint32(1 + i%13)
+		if err := p.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	settle()
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 128; i++ { // two full batches per run
+			r.SourceID = uint32(1 + i%13)
+			if err := p.Consume(r); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		settle()
+	})
+	_ = p.Close()
+	_ = col.Close()
+	<-runDone
+	if perRecord := allocs / 128; perRecord > 0.01 {
+		t.Fatalf("partition->collect path allocates %.3f/record (%.0f/run), want 0", perRecord, allocs)
+	}
+	if got := col.Skipped(); got != 0 {
+		t.Fatalf("collector skipped %d slots", got)
 	}
 }
