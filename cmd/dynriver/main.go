@@ -104,7 +104,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dynriver station (-to HOST:PORT | -coord HOST:PORT [-pipeline ID]) [-clips N] [-seed S] [-seconds SEC] [-batch N] [-pace D] [-probes D]
+  dynriver station (-to HOST:PORT | -coord HOST:PORT [-pipeline ID]) [-clips N] [-seed S] [-seconds SEC] [-batch N] [-frame v1|v2] [-pace D] [-probes D]
   dynriver segment -type extract|spectral|detect|slow|full -listen ADDR -to HOST:PORT
   dynriver sink -listen ADDR [-conns N]
   dynriver coord -listen ADDR -sink HOST:PORT [-segments TYPES] [-pipelines N | -spec-file FILE]
@@ -114,7 +114,7 @@ func usage() {
                  [-react observe|drain] [-dry-run] [-remediate-cooldown D] [-remediate-max N]
                  [-autoscale] [-autoscale-low F] [-autoscale-high F] [-autoscale-min K]
                  [-autoscale-max K] [-autoscale-step N] [-autoscale-cooldown D]
-  dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-queue N] [-retry N] [-retry-max D]
+  dynriver node -name NAME -coord HOST:PORT [-host IP] [-batch N] [-frame v1|v2] [-queue N] [-retry N] [-retry-max D]
                 [-metrics-addr ADDR]
   dynriver status -coord HOST:PORT [-json] [-pipeline ID]
   dynriver events -coord HOST:PORT [-pipeline ID] [-follow] [-json] [-since SEQ]
@@ -210,16 +210,30 @@ func (s *slowRelay) Process(r *record.Record, out pipeline.Emitter) error {
 	return out.Emit(r)
 }
 
-// flushPolicy maps a -batch flag value to a record framing policy: <=1
-// selects per-record writes, anything larger the batched hot path with
-// that record bound.
-func flushPolicy(batch int) record.BatchConfig {
+// flushPolicy maps the -batch and -frame flag values to a record framing
+// policy: batch <=1 selects per-record writes, anything larger the
+// batched hot path with that record bound; frame "v1" pins the per-record
+// wire framing (the escape hatch — readers accept either, so mixed fleets
+// interoperate), anything else keeps the v2 batch-frame default.
+func flushPolicy(batch int, frame string) (record.BatchConfig, error) {
+	var cfg record.BatchConfig
 	if batch <= 1 {
-		return record.PerRecordConfig()
+		cfg = record.PerRecordConfig()
+	} else {
+		cfg = record.DefaultBatchConfig()
+		cfg.MaxRecords = batch
+		if cfg.AdaptMax < batch {
+			cfg.AdaptMax = batch
+		}
 	}
-	cfg := record.DefaultBatchConfig()
-	cfg.MaxRecords = batch
-	return cfg
+	switch frame {
+	case "", "v2":
+	case "v1":
+		cfg.Frame = record.FrameV1
+	default:
+		return cfg, fmt.Errorf("unknown -frame %q (want v1 or v2)", frame)
+	}
+	return cfg, nil
 }
 
 func runStation(args []string) error {
@@ -232,6 +246,7 @@ func runStation(args []string) error {
 	seconds := fs.Float64("seconds", 10, "seconds per clip")
 	name := fs.String("name", "kbs-01", "station name")
 	batch := fs.Int("batch", 64, "records per streamout batch (<=1 writes per record)")
+	frame := fs.String("frame", "v2", "wire framing: v2 (batch frames, hardware CRC) or v1 (per-record frames)")
 	pace := fs.Duration("pace", 0, "sleep between records, approximating a live sensor (0 = stream flat-out)")
 	probes := fs.Duration("probes", 0, "interval between end-to-end latency trace probes (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -239,6 +254,10 @@ func runStation(args []string) error {
 	}
 	if (*to == "") == (*coordAddr == "") {
 		return fmt.Errorf("station: exactly one of -to or -coord is required")
+	}
+	policy, err := flushPolicy(*batch, *frame)
+	if err != nil {
+		return fmt.Errorf("station: %w", err)
 	}
 	ctx := interruptContext()
 
@@ -284,7 +303,7 @@ func runStation(args []string) error {
 		case <-ctx.Done():
 			return nil
 		}
-		out = pipeline.NewStreamOutBatched(entry, flushPolicy(*batch))
+		out = pipeline.NewStreamOutBatched(entry, policy)
 		go func() {
 			for {
 				select {
@@ -308,7 +327,7 @@ func runStation(args []string) error {
 		}()
 		fmt.Printf("station: pipeline entry resolved to %s via coordinator %s\n", entry, *coordAddr)
 	} else {
-		out = pipeline.NewStreamOutBatched(*to, flushPolicy(*batch))
+		out = pipeline.NewStreamOutBatched(*to, policy)
 	}
 	defer out.Close()
 
@@ -611,6 +630,7 @@ func runNode(args []string) error {
 	coordAddr := fs.String("coord", "", "coordinator address (required)")
 	host := fs.String("host", "127.0.0.1", "interface hosted segments listen on (must be dialable by upstream)")
 	batch := fs.Int("batch", 64, "records per hosted streamout batch (<=1 writes per record)")
+	frame := fs.String("frame", "v2", "wire framing for hosted streamouts: v2 (batch frames, hardware CRC) or v1 (per-record frames)")
 	queue := fs.Int("queue", pipeline.DefaultQueueSize, "hosted streamin emit-queue bound (0 = direct emit)")
 	retries := fs.Int("retry", 0, "consecutive failed connection attempts before giving up (0 = retry forever)")
 	retryMax := fs.Duration("retry-max", 2*time.Second, "cap on the jittered reconnect backoff")
@@ -624,7 +644,11 @@ func runNode(args []string) error {
 	agent := river.NewAgent(*name, *coordAddr, builtinRegistry())
 	agent.ListenHost = *host
 	agent.MetricsAddr = *metricsAddr
-	agent.Node().FlushPolicy = flushPolicy(*batch)
+	policy, err := flushPolicy(*batch, *frame)
+	if err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	agent.Node().FlushPolicy = policy
 	agent.Node().QueueSize = *queue
 	agent.ReconnectMax = *retryMax
 	agent.DialAttempts = *retries

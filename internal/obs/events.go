@@ -68,6 +68,11 @@ const (
 	// "saturation", Value, Phase is one of triggered/scale_out/scale_in/
 	// suppressed, Detail the K transition or the suppression reason).
 	EventAutoscale = "autoscale"
+	// EventCorruption: an ingest decoder dropped corrupt batch frames —
+	// bytes damaged on the link or by a peer; each drop lost exactly one
+	// batch and the stream re-synced (Unit, Node, Value is the
+	// dropped-batch delta since the last heartbeat).
+	EventCorruption = "corruption"
 )
 
 // Remediation phases carried in Event.Phase on EventRemediation events.

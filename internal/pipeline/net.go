@@ -20,8 +20,11 @@ import (
 const DefaultQueueSize = 256
 
 // netReadBuffer sizes the record reader's buffer to swallow a full
-// upstream batch per syscall.
-const netReadBuffer = record.DefaultMaxBatchBytes
+// upstream batch per syscall. A byte-bound batch can exceed MaxBytes by
+// the record that crossed the threshold, so leave slack beyond the default
+// bound — a v2 batch that fits the buffer is verified and decoded in one
+// pass with no extra copy.
+const netReadBuffer = record.DefaultMaxBatchBytes + 64<<10
 
 // StreamOut is a Sink that writes records to a downstream host over TCP,
 // the streamout operator of the paper. Records are framed through a
@@ -61,6 +64,9 @@ type StreamOut struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	// done caches ctx.Done() so the per-record liveness check is one
+	// channel poll instead of a mutex acquire inside cancelCtx.Err.
+	done <-chan struct{}
 
 	// timerMu guards the armed flag and stall backoff of the on-demand
 	// delay-flush timer. It nests inside writeMu and is never held across
@@ -69,7 +75,7 @@ type StreamOut struct {
 	// allocations.
 	timerMu    sync.Mutex
 	timer      *time.Timer
-	timerArmed bool
+	timerArmed atomic.Bool   // read lock-free on the Consume fast path
 	timerStall time.Duration // re-arm backoff while writeMu is contended
 	// maxDelay mirrors the policy's MaxDelay; written only at
 	// construction / SetFlushPolicy (before traffic).
@@ -95,12 +101,16 @@ func NewStreamOut(addr string) *StreamOut {
 func NewStreamOutBatched(addr string, policy record.BatchConfig) *StreamOut {
 	ctx, cancel := context.WithCancel(context.Background())
 	bw := record.NewBatchWriter(nil, policy)
+	// The delay timer below owns staleness delivery, so the writer can
+	// skip its per-record clock read.
+	bw.SetTimerDriven(bw.Config().MaxDelay > 0)
 	return &StreamOut{
 		bw:                bw,
 		maxDelay:          bw.Config().MaxDelay,
 		addr:              addr,
 		redirected:        make(chan struct{}),
 		ctx:               ctx,
+		done:              ctx.Done(),
 		cancel:            cancel,
 		minBackoff:        10 * time.Millisecond,
 		maxBackoff:        2 * time.Second,
@@ -115,6 +125,7 @@ func (s *StreamOut) SetFlushPolicy(policy record.BatchConfig) {
 	defer s.writeMu.Unlock()
 	s.bw = record.NewBatchWriter(nil, policy)
 	s.maxDelay = s.bw.Config().MaxDelay
+	s.bw.SetTimerDriven(s.maxDelay > 0)
 }
 
 // Name implements Sink.
@@ -328,16 +339,22 @@ func (s *StreamOut) forceFlushLocked(dial bool) {
 func (s *StreamOut) Consume(r *record.Record) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	if s.ctx.Err() != nil {
+	select {
+	case <-s.done:
 		return ErrStopped
+	default:
 	}
 	if err := s.bw.Add(r); err != nil {
 		return err
 	}
 	var err error
 	if s.bw.ShouldFlush() {
-		err = s.flushLocked()
-	} else if s.maxDelay > 0 {
+		if err = s.flushLocked(); err != nil {
+			// Returning with the batch pending: splice any by-reference
+			// payloads into the buffer while the caller still owns them.
+			s.bw.MaterializePending()
+		}
+	} else if s.maxDelay > 0 && !s.timerArmed.Load() {
 		s.armFlushTimer(s.maxDelay)
 	}
 	s.maybeBoundaryRedirect(r)
@@ -363,10 +380,10 @@ func (s *StreamOut) Flush() error {
 func (s *StreamOut) armFlushTimer(d time.Duration) {
 	s.timerMu.Lock()
 	defer s.timerMu.Unlock()
-	if s.timerArmed || s.ctx.Err() != nil {
+	if s.timerArmed.Load() || s.ctx.Err() != nil {
 		return
 	}
-	s.timerArmed = true
+	s.timerArmed.Store(true)
 	if s.timer == nil {
 		s.timer = time.AfterFunc(d, s.timedFlush)
 	} else {
@@ -379,7 +396,7 @@ func (s *StreamOut) armFlushTimer(d time.Duration) {
 // was armed for) re-arms for the remainder.
 func (s *StreamOut) timedFlush() {
 	s.timerMu.Lock()
-	s.timerArmed = false
+	s.timerArmed.Store(false)
 	s.timerMu.Unlock()
 	if s.ctx.Err() != nil {
 		return
@@ -524,12 +541,16 @@ type StreamIn struct {
 	ln     net.Listener
 	ctx    context.Context
 	cancel context.CancelFunc
+	// done caches ctx.Done() so the per-record liveness check is one
+	// channel poll instead of a mutex acquire inside cancelCtx.Err.
+	done <-chan struct{}
 
-	mu    sync.Mutex
-	conns uint64              // accepted connections
-	bad   uint64              // BadCloseScope records synthesized
-	queue chan *record.Record // live emit queue while Run uses one
-	peak  atomic.Int64        // high-water mark of the emit queue
+	mu      sync.Mutex
+	conns   uint64              // accepted connections
+	bad     uint64              // BadCloseScope records synthesized
+	queue   chan *record.Record // live emit queue while Run uses one
+	peak    atomic.Int64        // high-water mark of the emit queue
+	corrupt atomic.Uint64       // corrupt v2 batches dropped by the decoder
 
 	// MaxConns, when positive, stops the source cleanly after that many
 	// upstream connections have been served (used by finite pipelines and
@@ -616,6 +637,14 @@ func (s *StreamIn) QueueDepth() (depth, capacity int) {
 // visible even when every snapshot happens to catch the queue drained.
 func (s *StreamIn) QueuePeak() int {
 	return int(s.peak.Load())
+}
+
+// CorruptBatches returns the number of corrupt v2 batch frames the decoder
+// dropped whole across all upstream connections (each drop loses exactly
+// that batch; the reader re-syncs on the next frame). Surfaced in
+// heartbeats so link-level corruption is visible to the control plane.
+func (s *StreamIn) CorruptBatches() uint64 {
+	return s.corrupt.Load()
 }
 
 // Close stops the source: the listener closes and Run returns after the
@@ -779,8 +808,13 @@ func (s *StreamIn) serveConn(conn net.Conn, out Emitter) error {
 	tracker := record.NewTracker()
 	rd := record.NewReaderSize(conn, netReadBuffer)
 	rd.SetPooled(s.Pooled)
+	var seenCorrupt uint64
 	for {
 		rec, err := rd.Read()
+		if c := rd.CorruptBatches(); c != seenCorrupt {
+			s.corrupt.Add(c - seenCorrupt)
+			seenCorrupt = c
+		}
 		if err != nil {
 			clean := errors.Is(err, io.EOF) && tracker.Depth() == 0
 			if !clean {

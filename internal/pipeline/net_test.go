@@ -565,3 +565,72 @@ func TestNodeStopWithDeadDownstream(t *testing.T) {
 		t.Fatal("Node.Stop hung on a segment with an unreachable downstream")
 	}
 }
+
+// TestStreamInCorruptionCounted streams a corrupted v2 batch between two
+// good ones straight into a StreamIn: the bad batch is dropped whole, the
+// good batches deliver, and the corruption surfaces in CorruptBatches()
+// for the segment-stats heartbeat.
+func TestStreamInCorruptionCounted(t *testing.T) {
+	in, err := NewStreamIn("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &emitCollector{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := in.Run(col); err != nil {
+			t.Errorf("streamin: %v", err)
+		}
+	}()
+
+	batch := func(base int) []*record.Record {
+		recs := make([]*record.Record, 3)
+		for i := range recs {
+			r := record.NewData(record.SubtypeAudio)
+			r.Seq = uint64(base + i)
+			r.SetFloat64s([]float64{float64(base + i)})
+			recs[i] = r
+		}
+		return recs
+	}
+	var wire []byte
+	wire = record.AppendBatchWire(wire, batch(0)...)
+	mark := len(wire)
+	wire = record.AppendBatchWire(wire, batch(10)...)
+	wire = record.AppendBatchWire(wire, batch(20)...)
+	wire[mark+20] ^= 0x01 // inside the middle batch's body
+
+	conn, err := net.Dial("tcp", in.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(col.snapshot()) < 6 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	_ = in.Close()
+	wg.Wait()
+
+	got := col.snapshot()
+	if len(got) != 6 {
+		t.Fatalf("delivered %d records, want 6 (middle batch dropped whole)", len(got))
+	}
+	for i, r := range got {
+		want := uint64(i)
+		if i >= 3 {
+			want = uint64(20 + i - 3)
+		}
+		if r.Seq != want {
+			t.Errorf("record %d: seq %d, want %d", i, r.Seq, want)
+		}
+	}
+	if in.CorruptBatches() != 1 {
+		t.Errorf("CorruptBatches = %d, want 1", in.CorruptBatches())
+	}
+}

@@ -111,6 +111,7 @@ type (
 	}
 	queueStats     interface{ QueueDepth() (int, int) }
 	queuePeakStats interface{ QueuePeak() int }
+	corruptStats   interface{ CorruptBatches() uint64 }
 	egressStats    interface {
 		RecordsOut() uint64
 		BatchesOut() uint64
@@ -263,6 +264,12 @@ type SegmentStats struct {
 	Emitted   uint64 // records produced by the operator chain
 	Conns     uint64 // upstream connections served
 	BadCloses uint64 // BadCloseScope repairs synthesized on ingest
+	// Corrupt counts corrupt v2 batch frames the ingest decoder dropped
+	// whole (bad batch CRC or inconsistent structure after a valid
+	// header); each drop loses exactly that batch and the reader re-syncs
+	// on the next frame. Nonzero means the link or a peer is damaging
+	// bytes in flight.
+	Corrupt uint64
 	// Lag is the cumulative processed−emitted delta (saturating at 0).
 	// For record-for-record operators it approximates backlog; for
 	// filtering segments (the extraction chain discards most records by
@@ -349,6 +356,9 @@ func (n *Node) Stats() []SegmentStats {
 		}
 		if qp, ok := h.src.(queuePeakStats); ok {
 			s.QueuePeak = qp.QueuePeak()
+		}
+		if cs, ok := h.src.(corruptStats); ok {
+			s.Corrupt = cs.CorruptBatches()
 		}
 		if es, ok := h.sink.(egressStats); ok {
 			s.RecordsOut = es.RecordsOut()

@@ -8,7 +8,7 @@ import (
 	"io"
 )
 
-// Wire format (all integers little-endian):
+// Wire format v1 — one frame per record (all integers little-endian):
 //
 //	magic      uint32  'D','R','V','1'
 //	kind       uint8
@@ -27,30 +27,89 @@ import (
 // partial write; the header CRC lets the reader reject a corrupted length
 // field before committing to consume payload bytes; the trailing CRC
 // detects payload corruption and false magic matches.
+//
+// Wire format v2 — one frame per batch. v1 pays two software CRC-32/IEEE
+// passes and 10 bytes of framing (magic + header CRC + trailer) per
+// record; v2 amortizes framing over the whole batch and checksums it in a
+// single CRC-32C (Castagnoli) pass, which Go accelerates with the SSE4.2 /
+// ARMv8 CRC instructions:
+//
+//	magic    uint32  'D','R','V','2'
+//	count    uint16  number of records in the batch (>= 1)
+//	bodyLen  uint32  encoded size of all entries, headers + payloads
+//	hdrCRC   uint16  (low 16 bits of CRC-32C over count..bodyLen)
+//	body     [bodyLen]byte   — count entries, each:
+//	    kind       uint8
+//	    subtype    uint16
+//	    scope      uint16
+//	    scopeType  uint16
+//	    seq        uint64
+//	    sourceID   uint32
+//	    payloadTyp uint16
+//	    payloadLen uint32
+//	    payload    [payloadLen]byte
+//	batchCRC uint32  (CRC-32C over everything from count through body)
+//
+// The entry header is the v1 header minus magic and header CRC — the
+// field order and widths are identical, so both framings share the
+// encode/decode helpers. The batch header CRC guards count/bodyLen before
+// the reader commits to consuming bodyLen bytes; the trailing CRC covers
+// the whole batch, so corruption anywhere drops exactly that batch (the
+// reader counts it and re-syncs on the next magic word — see Read). The
+// two framings are self-identifying by magic and may be interleaved on
+// one stream; readers accept both, so v1 writers and v2 readers (and vice
+// versa) interoperate with no flag day.
 
 const (
 	wireMagic   = uint32('D') | uint32('R')<<8 | uint32('V')<<16 | uint32('1')<<24
+	wireMagicV2 = uint32('D') | uint32('R')<<8 | uint32('V')<<16 | uint32('2')<<24
 	hdrCRCOff   = 4 + 1 + 2 + 2 + 2 + 8 + 4 + 2 + 4
 	headerSize  = hdrCRCOff + 2
 	trailerSize = 4
+	// entryHdrSize is the per-record header inside a v2 batch body: the v1
+	// header fields without the magic word and header CRC.
+	entryHdrSize = 1 + 2 + 2 + 2 + 8 + 4 + 2 + 4
+	// batchHdrSize is the v2 batch header: magic, count, bodyLen, hdrCRC.
+	batchHdrSize = 4 + 2 + 4 + 2
+	// batchTrailerSize is the v2 whole-batch CRC-32C.
+	batchTrailerSize = 4
+	// MaxBatchRecords is the largest count a v2 batch frame can carry
+	// (the count field is a uint16).
+	MaxBatchRecords = 1<<16 - 1
 	// MaxPayload bounds the payload size accepted by the decoder. It
 	// protects readers from corrupt length fields; 64 MiB is far above any
 	// record produced by the acoustic pipeline (a 30 s clip is ~1.5 MiB).
 	MaxPayload = 64 << 20
+	// MaxBatchBody bounds the v2 batch body accepted by the decoder, for
+	// the same reason MaxPayload bounds a record: a corrupt (but
+	// header-CRC-valid) length field must not commit the reader to
+	// consuming gigabytes. Writers flush on BatchConfig.MaxBytes long
+	// before this.
+	MaxBatchBody = 256 << 20
 )
+
+// castagnoli is the CRC-32C table; crc32.Checksum with it dispatches to
+// the hardware CRC32 instruction on amd64 (SSE4.2) and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Codec errors.
 var (
 	ErrBadMagic    = errors.New("record: bad magic word")
 	ErrBadChecksum = errors.New("record: checksum mismatch")
 	ErrTooLarge    = errors.New("record: payload exceeds MaxPayload")
+	ErrBadBatch    = errors.New("record: malformed batch frame")
 )
 
-// AppendWire appends the wire encoding of r to dst and returns the extended
-// slice.
-func AppendWire(dst []byte, r *Record) []byte {
-	start := len(dst)
-	dst = appendU32(dst, wireMagic)
+// errBatchSkipped is an internal sentinel: a v2 batch failed its CRC (or
+// was structurally inconsistent) and has been consumed in full, so the
+// non-strict Read loop should simply try the next frame — no byte-wise
+// resync needed, the stream is already positioned at the frame boundary.
+var errBatchSkipped = errors.New("record: corrupt batch skipped")
+
+// appendEntryHeader appends r's header fields — the v1 header minus magic
+// and header CRC, which is exactly a v2 batch entry header — and returns
+// the extended slice.
+func appendEntryHeader(dst []byte, r *Record) []byte {
 	dst = append(dst, byte(r.Kind))
 	dst = appendU16(dst, r.Subtype)
 	dst = appendU16(dst, r.Scope)
@@ -58,7 +117,15 @@ func AppendWire(dst []byte, r *Record) []byte {
 	dst = appendU64(dst, r.Seq)
 	dst = appendU32(dst, r.SourceID)
 	dst = appendU16(dst, uint16(r.PayloadType))
-	dst = appendU32(dst, uint32(len(r.Payload)))
+	return appendU32(dst, uint32(len(r.Payload)))
+}
+
+// AppendWire appends the v1 wire encoding of r to dst and returns the
+// extended slice.
+func AppendWire(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = appendU32(dst, wireMagic)
+	dst = appendEntryHeader(dst, r)
 	hcrc := crc32.ChecksumIEEE(dst[start+4:])
 	dst = appendU16(dst, uint16(hcrc))
 	dst = append(dst, r.Payload...)
@@ -66,7 +133,32 @@ func AppendWire(dst []byte, r *Record) []byte {
 	return appendU32(dst, crc)
 }
 
-// WireSize returns the encoded size of r in bytes.
+// AppendBatchWire appends one v2 batch frame carrying recs to dst and
+// returns the extended slice. It is the one-shot form of BatchWriter's v2
+// framing, used by tests and tools; the hot path assembles the frame
+// incrementally. recs must be non-empty and hold at most MaxBatchRecords
+// records.
+func AppendBatchWire(dst []byte, recs ...*Record) []byte {
+	if len(recs) == 0 || len(recs) > MaxBatchRecords {
+		panic("record: AppendBatchWire: batch must carry 1..65535 records")
+	}
+	start := len(dst)
+	dst = appendU32(dst, wireMagicV2)
+	dst = appendU16(dst, uint16(len(recs)))
+	dst = appendU32(dst, 0) // bodyLen, patched below
+	dst = appendU16(dst, 0) // hdrCRC, patched below
+	for _, r := range recs {
+		dst = appendEntryHeader(dst, r)
+		dst = append(dst, r.Payload...)
+	}
+	body := len(dst) - start - batchHdrSize
+	putU32(dst[start+6:], uint32(body))
+	putU16(dst[start+10:], uint16(crc32.Checksum(dst[start+4:start+10], castagnoli)))
+	crc := crc32.Checksum(dst[start+4:], castagnoli)
+	return appendU32(dst, crc)
+}
+
+// WireSize returns the v1 encoded size of r in bytes.
 func WireSize(r *Record) int {
 	return headerSize + len(r.Payload) + trailerSize
 }
@@ -104,13 +196,31 @@ func (w *Writer) Write(r *Record) error {
 // Count returns the number of records written.
 func (w *Writer) Count() uint64 { return w.n }
 
-// Reader decodes records from an io.Reader. Reader is not safe for
+// Reader decodes records from an io.Reader. It accepts both framings —
+// each frame identifies itself by magic word, so v1 records and v2
+// batches may be freely interleaved on one stream. Reader is not safe for
 // concurrent use.
 type Reader struct {
 	r      *bufio.Reader
 	n      uint64
 	strict bool
 	pooled bool
+
+	// Cursor over the current CRC-verified v2 batch body: records are
+	// materialized lazily, one per Read, so a deep batch never bursts
+	// hundreds of pooled records into flight at once. batch aliases
+	// either the bufio peek window (kept valid because the reader does no
+	// other buffer operation until the cursor drains) or batchBuf.
+	batch        []byte
+	batchOff     int // offset of the next undecoded entry in batch
+	batchLeft    int // entries not yet handed to the caller
+	batchConsume int // bytes to Discard when the cursor drains (peek path)
+	// batchBuf is the reader-owned spill buffer for v2 batches larger
+	// than the bufio window; reused across such batches.
+	batchBuf []byte
+	// corrupt counts v2 batches dropped whole for a CRC or structural
+	// failure after a valid batch header (skip-mode resync).
+	corrupt uint64
 }
 
 // NewReader returns a Reader decoding from r. The reader resynchronizes on
@@ -158,6 +268,8 @@ func (r *Reader) newRecord() *Record {
 // reader (and its read buffer) serve a sequence of streams without
 // reallocating.
 func (r *Reader) Reset(src io.Reader) {
+	r.batch = nil
+	r.batchOff, r.batchLeft, r.batchConsume = 0, 0, 0
 	r.r.Reset(src)
 	r.n = 0
 }
@@ -165,14 +277,30 @@ func (r *Reader) Reset(src io.Reader) {
 // Count returns the number of records successfully read.
 func (r *Reader) Count() uint64 { return r.n }
 
+// CorruptBatches returns the number of v2 batches dropped whole because
+// their CRC (or internal structure) failed after a valid batch header.
+// Each drop loses exactly that batch: the reader re-syncs on the next
+// frame magic and keeps decoding.
+func (r *Reader) CorruptBatches() uint64 { return r.corrupt }
+
 // Read decodes the next record. It returns io.EOF at a clean end of stream
 // and io.ErrUnexpectedEOF if the stream ends mid-record.
 func (r *Reader) Read() (*Record, error) {
 	for {
+		if r.batchLeft > 0 {
+			rec := r.nextBatchRecord()
+			r.n++
+			return rec, nil
+		}
 		rec, err := r.readOne()
 		if err == nil {
 			r.n++
 			return rec, nil
+		}
+		if errors.Is(err, errBatchSkipped) {
+			// The corrupt batch was consumed whole; the stream is already
+			// positioned at the next frame boundary.
+			continue
 		}
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, err
@@ -190,27 +318,42 @@ func (r *Reader) Read() (*Record, error) {
 	}
 }
 
-// readOne decodes the record at the current position. Whenever the whole
-// record fits in the read buffer it is validated via Peek before any byte
-// is consumed, so a framing or checksum error leaves the stream positioned
-// at the bad record and Read can resynchronize without losing the records
-// that follow it. Records larger than the buffer fall back to consuming
-// reads.
+// readOne decodes the frame at the current position, dispatching on its
+// magic word: a v1 frame yields one record, a v2 frame decodes a whole
+// batch (first record returned, the rest queued on pend).
 func (r *Reader) readOne() (*Record, error) {
-	hdr, err := r.r.Peek(headerSize)
+	m, err := r.r.Peek(4)
 	if err != nil {
-		if len(hdr) == 0 {
+		if len(m) == 0 {
 			return nil, io.EOF
 		}
-		if getU32Partial(hdr) != wireMagic {
-			// Trailing garbage shorter than a header; treat as EOF after
-			// the resync scan fails to find another record.
+		if !magicPrefix(m) {
+			// Trailing garbage shorter than a magic word; treat as EOF
+			// after the resync scan fails to find another record.
 			return nil, ErrBadMagic
 		}
 		return nil, unexpectedEOF(err)
 	}
-	if getU32(hdr) != wireMagic {
+	switch getU32(m) {
+	case wireMagic:
+		return r.readOneV1()
+	case wireMagicV2:
+		return r.readBatchV2()
+	default:
 		return nil, ErrBadMagic
+	}
+}
+
+// readOneV1 decodes the v1 record at the current position. Whenever the
+// whole record fits in the read buffer it is validated via Peek before any
+// byte is consumed, so a framing or checksum error leaves the stream
+// positioned at the bad record and Read can resynchronize without losing
+// the records that follow it. Records larger than the buffer fall back to
+// consuming reads.
+func (r *Reader) readOneV1() (*Record, error) {
+	hdr, err := r.r.Peek(headerSize)
+	if err != nil {
+		return nil, unexpectedEOF(err)
 	}
 	plen := getU32(hdr[25:])
 	if plen > MaxPayload {
@@ -274,16 +417,150 @@ func (r *Reader) readOne() (*Record, error) {
 	return rec, nil
 }
 
-// fillHeader populates rec's header fields from a validated wire header,
-// leaving the payload untouched.
-func fillHeader(rec *Record, hdr []byte) {
-	rec.Kind = Kind(hdr[4])
-	rec.Subtype = getU16(hdr[5:])
-	rec.Scope = getU16(hdr[7:])
-	rec.ScopeType = ScopeType(getU16(hdr[9:]))
-	rec.Seq = getU64(hdr[11:])
-	rec.SourceID = getU32(hdr[19:])
-	rec.PayloadType = PayloadType(getU16(hdr[23:]))
+// readBatchV2 verifies the v2 batch frame at the current position and
+// opens the lazy decode cursor over its body, returning its first record.
+// The batch header CRC is verified before count/bodyLen are trusted; the
+// whole-batch CRC and entry structure are verified in one pass before any
+// record is materialized. A batch that fails after a valid header is
+// consumed whole and reported via errBatchSkipped (non-strict), so only
+// that batch is lost and decoding resumes at the next frame.
+func (r *Reader) readBatchV2() (*Record, error) {
+	hdr, err := r.r.Peek(batchHdrSize)
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if want := getU16(hdr[10:]); uint16(crc32.Checksum(hdr[4:10], castagnoli)) != want {
+		// count/bodyLen cannot be trusted, so the frame length is unknown:
+		// fall back to byte-wise resync in Read.
+		return nil, fmt.Errorf("%w: batch header CRC", ErrBadChecksum)
+	}
+	count := int(getU16(hdr[4:]))
+	bodyLen := int(getU32(hdr[6:]))
+	if count == 0 || bodyLen < count*entryHdrSize || bodyLen > MaxBatchBody {
+		return nil, fmt.Errorf("%w: count=%d bodyLen=%d", ErrBadBatch, count, bodyLen)
+	}
+	total := batchHdrSize + bodyLen + batchTrailerSize
+	var frame []byte
+	consumed := total
+	if total <= r.r.Size() {
+		frame, err = r.r.Peek(total)
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+	} else {
+		// Batch exceeds the peek window: spill into a reader-owned buffer.
+		// The bytes are consumed up front, which is fine — a failure below
+		// drops exactly this batch either way.
+		if cap(r.batchBuf) < total {
+			r.batchBuf = make([]byte, total)
+		}
+		frame = r.batchBuf[:total]
+		if _, err := io.ReadFull(r.r, frame); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		consumed = 0
+	}
+	if want := getU32(frame[batchHdrSize+bodyLen:]); crc32.Checksum(frame[4:batchHdrSize+bodyLen], castagnoli) != want {
+		return nil, r.dropBatch(consumed, fmt.Errorf("%w: batch CRC", ErrBadChecksum))
+	}
+	body := frame[batchHdrSize : batchHdrSize+bodyLen]
+	if err := scanBatchBody(body, count); err != nil {
+		return nil, r.dropBatch(consumed, err)
+	}
+	r.batch = body
+	r.batchOff = 0
+	r.batchLeft = count
+	r.batchConsume = consumed
+	return r.nextBatchRecord(), nil
+}
+
+// nextBatchRecord materializes the next record of the open batch cursor.
+// The body has passed the batch CRC and the structural scan, so the entry
+// geometry is trusted here. When the last record is handed out the frame's
+// bytes are released back to the buffer (the peek path defers its Discard
+// until now, since the cursor aliases the buffered bytes).
+func (r *Reader) nextBatchRecord() *Record {
+	e := r.batch[r.batchOff:]
+	plen := int(getU32(e[21:]))
+	rec := r.newRecord()
+	fillEntryHeader(rec, e)
+	if plen > 0 {
+		copy(rec.ensurePayload(plen), e[entryHdrSize:entryHdrSize+plen])
+	}
+	r.batchOff += entryHdrSize + plen
+	if r.batchLeft--; r.batchLeft == 0 {
+		r.batch = nil
+		r.batchOff = 0
+		if r.batchConsume > 0 {
+			// The whole frame is buffered (it was Peeked), so the Discard
+			// cannot fail.
+			_, _ = r.r.Discard(r.batchConsume)
+			r.batchConsume = 0
+		}
+	}
+	return rec
+}
+
+// dropBatch consumes a corrupt batch (when its bytes are still buffered),
+// counts it, and converts the failure to the skip sentinel unless the
+// reader is strict.
+func (r *Reader) dropBatch(consume int, cause error) error {
+	r.corrupt++
+	if consume > 0 {
+		if _, err := r.r.Discard(consume); err != nil {
+			return fmt.Errorf("record: discard corrupt batch: %w", err)
+		}
+	}
+	if r.strict {
+		return cause
+	}
+	return errBatchSkipped
+}
+
+// scanBatchBody validates the entry structure of a CRC-verified batch
+// body without materializing anything. The CRC has passed, so structural
+// inconsistencies (entry overruns, trailing slack, an invalid kind)
+// indicate an encoder bug or an astronomically unlucky collision; they
+// fail the whole batch before a single record is allocated.
+func scanBatchBody(body []byte, count int) error {
+	off := 0
+	for i := 0; i < count; i++ {
+		if len(body)-off < entryHdrSize {
+			return fmt.Errorf("%w: entry %d header truncated", ErrBadBatch, i)
+		}
+		e := body[off : off+entryHdrSize]
+		plen := int(getU32(e[21:]))
+		if plen > MaxPayload {
+			return fmt.Errorf("%w: entry %d: %v", ErrBadBatch, i, ErrTooLarge)
+		}
+		if !Kind(e[0]).Valid() {
+			return fmt.Errorf("%w: entry %d: invalid kind %d", ErrBadBatch, i, e[0])
+		}
+		if len(body)-off-entryHdrSize < plen {
+			return fmt.Errorf("%w: entry %d payload truncated", ErrBadBatch, i)
+		}
+		off += entryHdrSize + plen
+	}
+	if off != len(body) {
+		return fmt.Errorf("%w: %d slack bytes after last entry", ErrBadBatch, len(body)-off)
+	}
+	return nil
+}
+
+// fillHeader populates rec's header fields from a validated v1 wire
+// header, leaving the payload untouched.
+func fillHeader(rec *Record, hdr []byte) { fillEntryHeader(rec, hdr[4:]) }
+
+// fillEntryHeader populates rec's header fields from a v2 batch entry
+// header (identical to the v1 header sans magic and header CRC).
+func fillEntryHeader(rec *Record, e []byte) {
+	rec.Kind = Kind(e[0])
+	rec.Subtype = getU16(e[1:])
+	rec.Scope = getU16(e[3:])
+	rec.ScopeType = ScopeType(getU16(e[5:]))
+	rec.Seq = getU64(e[7:])
+	rec.SourceID = getU32(e[15:])
+	rec.PayloadType = PayloadType(getU16(e[19:]))
 }
 
 // recycle returns a half-decoded record to the pool on error paths.
@@ -293,25 +570,32 @@ func (r *Reader) recycle(rec *Record) {
 	}
 }
 
-// getU32Partial reads up to 4 bytes, zero-padding; used only to distinguish
-// trailing garbage from a truncated record start.
-func getU32Partial(b []byte) uint32 {
-	var v uint32
-	for i := 0; i < len(b) && i < 4; i++ {
-		v |= uint32(b[i]) << (8 * i)
+// magicPrefix reports whether b (up to 4 bytes) is a prefix of either
+// frame magic; used only to distinguish trailing garbage from a truncated
+// frame start.
+func magicPrefix(b []byte) bool {
+	const common = "DRV"
+	for i, c := range b {
+		if i < len(common) {
+			if c != common[i] {
+				return false
+			}
+		} else if c != '1' && c != '2' {
+			return false
+		}
 	}
-	return v
+	return true
 }
 
-// seekMagic advances the reader until the next 4 bytes are the magic word
-// (without consuming them).
+// seekMagic advances the reader until the next 4 bytes are a frame magic
+// word — either version — without consuming them.
 func (r *Reader) seekMagic() error {
 	for {
 		b, err := r.r.Peek(4)
 		if err != nil {
 			return io.EOF
 		}
-		if getU32(b) == wireMagic {
+		if m := getU32(b); m == wireMagic || m == wireMagicV2 {
 			return nil
 		}
 		if _, err := r.r.Discard(1); err != nil {
@@ -342,4 +626,16 @@ func getU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
 
 func getU32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
 }

@@ -87,6 +87,7 @@ type Merger struct {
 	skipped  atomic.Uint64
 	untagged atomic.Uint64
 	repairs  atomic.Uint64
+	corrupt  atomic.Uint64 // corrupt v2 batches dropped by leg decoders
 
 	mu        sync.Mutex // guards the dedup state below
 	epoch     uint16
@@ -217,6 +218,10 @@ func (m *Merger) clearRingLocked() {
 	m.depth.Store(0)
 }
 
+// CorruptBatches returns the number of corrupt v2 batch frames dropped
+// whole by the leg decoders (see record.Reader.CorruptBatches).
+func (m *Merger) CorruptBatches() uint64 { return m.corrupt.Load() }
+
 // FillStats implements pipeline.EndpointStatser.
 func (m *Merger) FillStats(st *pipeline.SegmentStats) {
 	st.Role = m.role
@@ -224,6 +229,7 @@ func (m *Merger) FillStats(st *pipeline.SegmentStats) {
 	st.Dups = m.dups.Load()
 	st.Skipped = m.skipped.Load()
 	st.Untagged = m.untagged.Load()
+	st.Corrupt += m.corrupt.Load()
 }
 
 // Close stops the merger: the listener closes and Run returns after the
@@ -294,8 +300,13 @@ func (m *Merger) serveLeg(conn net.Conn, out pipeline.Emitter) {
 	}()
 	rd := record.NewReaderSize(conn, record.DefaultMaxBatchBytes)
 	rd.SetPooled(m.pooled)
+	var seenCorrupt uint64
 	for {
 		rec, err := rd.Read()
+		if c := rd.CorruptBatches(); c != seenCorrupt {
+			m.corrupt.Add(c - seenCorrupt)
+			seenCorrupt = c
+		}
 		if err != nil {
 			return
 		}

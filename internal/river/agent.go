@@ -529,6 +529,7 @@ func (a *Agent) segmentStats() []SegmentStatus {
 			Emitted:    s.Emitted,
 			Conns:      s.Conns,
 			BadCloses:  s.BadCloses,
+			Corrupt:    s.Corrupt,
 			QueueDepth: s.QueueDepth,
 			QueueCap:   s.QueueCap,
 			QueuePeak:  s.QueuePeak,
@@ -574,6 +575,7 @@ func (a *Agent) fillMetrics(reg *obs.Registry) {
 		reg.Gauge("dynriver_agent_segment_leg_drops", l...).Set(float64(s.LegDrops))
 		reg.Gauge("dynriver_agent_segment_gap_skips", l...).Set(float64(s.Skipped))
 		reg.Gauge("dynriver_agent_segment_alerts", l...).Set(float64(s.Alerts))
+		reg.Gauge("dynriver_agent_segment_corrupt_batches", l...).Set(float64(s.Corrupt))
 		// Latency quantile snapshots in seconds, from the same histograms
 		// the registry also exposes in full (dynriver_unit_latency_seconds).
 		if s.LatP99Us > 0 {

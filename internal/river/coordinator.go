@@ -240,6 +240,7 @@ type counterMark struct {
 	legDrops uint64
 	skipped  uint64
 	alerts   uint64
+	corrupt  uint64
 }
 
 // Coordinator owns a registry of desired pipeline topologies and drives
@@ -890,7 +891,7 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 				// coordinator never owned (adoption after a restart).
 				mark, seen := m.marks[s.Name]
 				if !seen || mark.addr != s.Addr {
-					m.marks[s.Name] = counterMark{addr: s.Addr, legDrops: s.LegDrops, skipped: s.Skipped, alerts: s.Alerts}
+					m.marks[s.Name] = counterMark{addr: s.Addr, legDrops: s.LegDrops, skipped: s.Skipped, alerts: s.Alerts, corrupt: s.Corrupt}
 					continue
 				}
 				if d := s.LegDrops - mark.legDrops; d > 0 && s.LegDrops >= mark.legDrops {
@@ -912,7 +913,14 @@ func (c *Coordinator) serveNode(w *wire, reg *Message) {
 						Detail: "detector alarm(s) in the data plane",
 					})
 				}
-				m.marks[s.Name] = counterMark{addr: s.Addr, legDrops: s.LegDrops, skipped: s.Skipped, alerts: s.Alerts}
+				if d := s.Corrupt - mark.corrupt; d > 0 && s.Corrupt >= mark.corrupt {
+					events = append(events, obs.Event{
+						Type: obs.EventCorruption, Unit: s.Name, Node: name,
+						Metric: "corrupt_batches", Value: float64(d),
+						Detail: "corrupt batch frame(s) dropped on ingest",
+					})
+				}
+				m.marks[s.Name] = counterMark{addr: s.Addr, legDrops: s.LegDrops, skipped: s.Skipped, alerts: s.Alerts, corrupt: s.Corrupt}
 			}
 			c.mu.Unlock()
 			for _, e := range events {

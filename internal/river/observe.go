@@ -77,7 +77,7 @@ func rollupStatus(reg *obs.Registry, st *ClusterStatus) {
 	reg.Gauge("dynriver_coord_nodes").Set(float64(len(st.Nodes)))
 	reg.Gauge("dynriver_coord_pipelines").Set(float64(len(st.Pipelines)))
 	for _, n := range st.Nodes {
-		var depth, qcap, peak, lag, legDrops, skipped, dups, alerts float64
+		var depth, qcap, peak, lag, legDrops, skipped, dups, alerts, corrupt float64
 		var latP99, e2eP99 float64 // worst across the node's segments, seconds
 		for _, s := range n.Segments {
 			depth += float64(s.QueueDepth)
@@ -88,6 +88,7 @@ func rollupStatus(reg *obs.Registry, st *ClusterStatus) {
 			skipped += float64(s.Skipped)
 			dups += float64(s.Dups)
 			alerts += float64(s.Alerts)
+			corrupt += float64(s.Corrupt)
 			if v := float64(s.LatP99Us) / 1e6; v > latP99 {
 				latP99 = v
 			}
@@ -105,6 +106,7 @@ func rollupStatus(reg *obs.Registry, st *ClusterStatus) {
 		reg.Gauge(metricNodePrefix+"gap_skips", l...).Set(skipped)
 		reg.Gauge(metricNodePrefix+"dups", l...).Set(dups)
 		reg.Gauge(metricNodePrefix+"alerts", l...).Set(alerts)
+		reg.Gauge(metricNodePrefix+"corrupt_batches", l...).Set(corrupt)
 		reg.Gauge(metricNodePrefix+"latency_p99_seconds", l...).Set(latP99)
 		reg.Gauge(metricNodePrefix+"e2e_latency_p99_seconds", l...).Set(e2eP99)
 		reg.Gauge(metricNodePrefix+"proto", l...).Set(float64(n.Proto))

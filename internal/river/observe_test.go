@@ -53,6 +53,8 @@ func TestRollupStatusFromHeartbeats(t *testing.T) {
 		// v7 adds detector alert counts and latency quantiles; the rollup
 		// takes the worst p99 across a node's segments, in seconds.
 		"v7-node": {7, `[{"name":"pa:sd","type":"t","addr":"127.0.0.1:19006","processed":20,"emitted":20,"conns":1,"bad_closes":0,"alerts":5,"lat_p50_us":200,"lat_p99_us":1500,"e2e_p50_us":800,"e2e_p99_us":9000},{"name":"pa:se","type":"t","addr":"127.0.0.1:19007","processed":20,"emitted":20,"conns":1,"bad_closes":0,"alerts":2,"lat_p99_us":700}]`},
+		// v9 adds the corrupt-batch counter from the frame-v2 transport.
+		"v9-node": {9, `[{"name":"pa:sf","type":"t","addr":"127.0.0.1:19008","processed":30,"emitted":30,"conns":1,"bad_closes":0,"corrupt_batches":4},{"name":"pa:sg","type":"t","addr":"127.0.0.1:19009","processed":30,"emitted":30,"conns":1,"bad_closes":0,"corrupt_batches":1}]`},
 	}
 	st := &ClusterStatus{Epoch: 3, SinkAddr: "127.0.0.1:9"}
 	for name, hb := range heartbeats {
@@ -80,7 +82,7 @@ func TestRollupStatusFromHeartbeats(t *testing.T) {
 	got := buf.String()
 	for _, want := range []string{
 		`dynriver_coord_epoch 3`,
-		`dynriver_coord_nodes 5`,
+		`dynriver_coord_nodes 6`,
 		`dynriver_coord_pipelines 2`,
 		// v1: all-zero telemetry rolls up as zeros, proto gauge says why.
 		`dynriver_node_proto{node="v1-node"} 1`,
@@ -104,8 +106,12 @@ func TestRollupStatusFromHeartbeats(t *testing.T) {
 		`dynriver_node_latency_p99_seconds{node="v7-node"} 0.0015`,
 		`dynriver_node_e2e_latency_p99_seconds{node="v7-node"} 0.009`,
 		`dynriver_node_proto{node="v7-node"} 7`,
+		// v9: corrupt-batch counts summed across the node's segments.
+		`dynriver_node_corrupt_batches{node="v9-node"} 5`,
+		`dynriver_node_proto{node="v9-node"} 9`,
 		// Older nodes roll up zeros for the v7 series.
 		`dynriver_node_alerts{node="v6-node"} 0`,
+		`dynriver_node_corrupt_batches{node="v7-node"} 0`,
 		// Per-pipeline rollups.
 		`dynriver_pipeline_units{pipeline="pa"} 2`,
 		`dynriver_pipeline_placed{pipeline="pa"} 1`,

@@ -22,6 +22,16 @@ import (
 )
 
 // ProtocolVersion is the control protocol revision this build speaks.
+// Version 9 rode along with the v2 batch wire framing in the data plane
+// (one frame and one hardware CRC-32C per batch — see internal/record):
+// heartbeats carry the count of corrupt batch frames a segment's ingest
+// decoders dropped (corrupt_batches), and the coordinator folds deltas
+// into typed "corruption" events, so link-level byte damage is visible
+// the moment skip-mode resync absorbs it. The data-plane framing is
+// self-identifying per frame (v1 readers were never shipped without the
+// sniffing decoder), and the new heartbeat field is an optional JSON
+// field, so v8 peers interoperate: a v8 agent simply reports no
+// corruption telemetry.
 // Version 8 added keyed stream sharding and the elastic autoscaler. A
 // segment spec may declare Shards: K, expanding into a partitioner that
 // hashes each record's stream identity to one of K parallel shard
@@ -82,7 +92,7 @@ import (
 // Agents announce their version in the register message; the coordinator
 // records it and echoes its own in the ack, so operators can spot
 // mixed-version clusters in status output.
-const ProtocolVersion = 8
+const ProtocolVersion = 9
 
 // Control message types. Register, heartbeat and ack flow from agents to
 // the coordinator; assign, redirect and stop flow the other way. Status
@@ -290,7 +300,13 @@ type SegmentStatus struct {
 	// segment's ingress-to-sink latency histogram (LatP*) and — on sink
 	// segments that see trace probes — the origin-to-sink end-to-end
 	// latency (E2eP*). v6 heartbeats leave all of these zero.
-	Alerts   uint64 `json:"alerts,omitempty"`
+	Alerts uint64 `json:"alerts,omitempty"`
+	// Corrupt counts corrupt batch frames the segment's ingest decoders
+	// dropped whole (protocol v9): bad batch CRCs on the v2 wire framing,
+	// each losing exactly one batch before the stream re-synced. The
+	// coordinator folds deltas into "corruption" events. Pre-v9
+	// heartbeats leave it zero.
+	Corrupt  uint64 `json:"corrupt_batches,omitempty"`
 	LatP50Us uint64 `json:"lat_p50_us,omitempty"`
 	LatP95Us uint64 `json:"lat_p95_us,omitempty"`
 	LatP99Us uint64 `json:"lat_p99_us,omitempty"`

@@ -49,6 +49,28 @@ const DefaultLegQueue = 256
 // nothing.
 const retireLinger = 500 * time.Millisecond
 
+// KeyFunc extracts a record's sharding key. It runs on the partitioner's
+// Consume hot path before the record is tagged (the record still carries
+// its original header fields) and must be pure and fast: same record
+// contents, same key. Any key distribution is order-safe — the
+// partitioner's global sequence annotation makes the collector restore
+// total input order regardless of how records spread across legs — but
+// stateful per-stream shard operators additionally require that records
+// of one logical stream map to one key.
+type KeyFunc func(*record.Record) uint32
+
+// KeyBySubtype shards on the record's Subtype: one station's stream
+// spreads its channels/feature lanes across legs instead of landing on a
+// single shard. The ROADMAP follow-up to SourceID-only keying.
+func KeyBySubtype(r *record.Record) uint32 { return uint32(r.Subtype) }
+
+// KeyBySourceAndSubtype shards on SourceID and Subtype jointly, for
+// fleets where neither stations alone (too few) nor subtypes alone (too
+// clustered) spread well.
+func KeyBySourceAndSubtype(r *record.Record) uint32 {
+	return r.SourceID*31 ^ uint32(r.Subtype)
+}
+
 // PartitionerConfig parameterizes a Partitioner.
 type PartitionerConfig struct {
 	// Group names the sharded segment group; partitioner and collector
@@ -59,13 +81,16 @@ type PartitionerConfig struct {
 	// partitioner's fresh numbering from the old one's.
 	Epoch uint16
 	// Legs is the initial ordered set of shard downstream addresses; a
-	// record's leg index is hash(SourceID) mod len(Legs).
+	// record's leg index is hash(key) mod len(Legs).
 	Legs []string
 	// LegQueue bounds each leg's record buffer (default DefaultLegQueue).
 	LegQueue int
 	// Flush is the per-leg streamout framing policy (zero value selects
 	// record.DefaultBatchConfig()).
 	Flush record.BatchConfig
+	// Key extracts the sharding key from a record; nil keys on SourceID
+	// (each logical stream stays whole on one shard).
+	Key KeyFunc
 }
 
 // Partitioner is a pipeline.Sink that tags every record with a global
@@ -82,6 +107,7 @@ type Partitioner struct {
 	epoch  uint16
 	queue  int
 	flush  record.BatchConfig
+	key    KeyFunc // nil: route by SourceID
 
 	drops atomic.Uint64
 	quit  chan struct{} // closed by Close
@@ -122,6 +148,7 @@ func NewPartitioner(cfg PartitionerConfig) *Partitioner {
 		epoch:       cfg.Epoch,
 		queue:       cfg.LegQueue,
 		flush:       cfg.Flush,
+		key:         cfg.Key,
 		quit:        make(chan struct{}),
 		legsChanged: make(chan struct{}),
 	}
@@ -178,7 +205,12 @@ func (p *Partitioner) Consume(r *record.Record) error {
 		p.mu.Unlock()
 		return pipeline.ErrStopped
 	}
-	key := r.SourceID // route by the original stream identity, pre-tag
+	// Extract the routing key before tagging overwrites the header fields
+	// it may read (TagReplica replaces SourceID with the stream identity).
+	key := r.SourceID
+	if p.key != nil {
+		key = p.key(r)
+	}
 	record.TagReplica(r, p.stream, p.epoch, p.seq)
 	p.seq++
 	// Fast path, under the mutex so SetLegs cannot swap the leg set

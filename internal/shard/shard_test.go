@@ -269,3 +269,132 @@ func TestShardIndexSpread(t *testing.T) {
 		}
 	}
 }
+
+// TestKeyFuncOrder is the adversarial order test for per-type sharding:
+// every record carries the SAME SourceID (so SourceID-keyed routing would
+// collapse onto one leg) while a KeyFunc on the subtype spreads the
+// stream across legs, one of which is an order of magnitude slower. The
+// collector must still emit the exact total input order.
+func TestKeyFuncOrder(t *testing.T) {
+	col, err := NewCollector(CollectorConfig{Group: "kf", ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectEmitter{}
+	done := make(chan error, 1)
+	go func() { done <- col.Run(sink) }()
+
+	const k = 4
+	legs := make([]string, k)
+	for i := range legs {
+		delay := time.Duration(0)
+		if i == 1 {
+			delay = 2 * time.Millisecond
+		}
+		addr, closeProxy := throttleProxy(t, col.Addr(), delay)
+		defer closeProxy()
+		legs[i] = addr
+	}
+	p := NewPartitioner(PartitionerConfig{
+		Group: "kf", Epoch: 1, Legs: legs,
+		Flush: record.PerRecordConfig(),
+		Key:   KeyBySubtype,
+	})
+
+	const n = 2000
+	legsUsed := map[int]bool{}
+	for i := 0; i < n; i++ {
+		r := record.NewData(uint16(i % 13)) // varying subtype = the shard key
+		r.SourceID = 42                     // constant: useless as a key
+		r.SetFloat64s([]float64{float64(i)})
+		legsUsed[shardIndex(KeyBySubtype(r), k)] = true
+		if err := p.Consume(r); err != nil {
+			t.Fatalf("consume %d: %v", i, err)
+		}
+		record.Release(r)
+	}
+	if len(legsUsed) < 3 {
+		t.Fatalf("KeyFunc routing collapsed onto %d legs; the test needs real spread", len(legsUsed))
+	}
+	waitCond(t, 30*time.Second, "all records collected", func() bool { return sink.len() >= n })
+	_ = p.Close()
+	_ = col.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("collector run: %v", err)
+	}
+
+	recs := sink.snapshot()
+	if len(recs) != n {
+		t.Fatalf("collected %d records, want exactly %d", len(recs), n)
+	}
+	stream := record.ShardStreamID("kf")
+	for i, r := range recs {
+		if _, seq, ok := record.ReplicaTag(r, stream); !ok || seq != uint64(i) {
+			t.Fatalf("record %d out of total order: tag ok=%v seq=%d", i, ok, seq)
+		}
+		if r.Subtype != uint16(i%13) {
+			t.Fatalf("record %d: subtype %d, want %d", i, r.Subtype, i%13)
+		}
+		v, err := r.Float64s()
+		if err != nil || len(v) != 1 || int(v[0]) != i {
+			t.Fatalf("record %d payload: %v %v", i, v, err)
+		}
+	}
+	if got := col.Skipped(); got != 0 {
+		t.Errorf("collector skipped %d sequence slots", got)
+	}
+}
+
+// TestShardFrameInterop reruns the partition->collect exactly-once path
+// with the writer pinned to the v1 framing: a pre-v2 station must keep
+// interoperating with today's collector unchanged.
+func TestShardFrameInterop(t *testing.T) {
+	col, err := NewCollector(CollectorConfig{Group: "g1", ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectEmitter{}
+	done := make(chan error, 1)
+	go func() { done <- col.Run(sink) }()
+
+	flush := record.DefaultBatchConfig()
+	flush.Frame = record.FrameV1
+	flush.MaxDelay = time.Millisecond
+	p := NewPartitioner(PartitionerConfig{
+		Group: "g1", Epoch: 1,
+		Legs:  []string{col.Addr(), col.Addr(), col.Addr()},
+		Flush: flush,
+	})
+
+	const n = 1500
+	for i := 0; i < n; i++ {
+		r := keyedData(uint32(1+i%17), 0, i)
+		if err := p.Consume(r); err != nil {
+			t.Fatalf("consume %d: %v", i, err)
+		}
+		record.Release(r)
+	}
+	waitCond(t, 30*time.Second, "all records collected", func() bool { return sink.len() >= n })
+	_ = p.Close()
+	_ = col.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("collector run: %v", err)
+	}
+
+	recs := sink.snapshot()
+	if len(recs) != n {
+		t.Fatalf("collected %d records, want exactly %d", len(recs), n)
+	}
+	stream := record.ShardStreamID("g1")
+	for i, r := range recs {
+		if _, seq, ok := record.ReplicaTag(r, stream); !ok || seq != uint64(i) {
+			t.Fatalf("record %d out of order: tag ok=%v seq=%d", i, ok, seq)
+		}
+	}
+	if got := col.Skipped(); got != 0 {
+		t.Errorf("collector skipped %d slots", got)
+	}
+	if got := col.CorruptBatches(); got != 0 {
+		t.Errorf("corrupt batches = %d on a clean v1 stream", got)
+	}
+}

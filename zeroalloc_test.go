@@ -62,7 +62,8 @@ func TestStreamOutConsumeZeroAlloc(t *testing.T) {
 		}
 	}()
 	cfg := record.DefaultBatchConfig()
-	cfg.MaxDelay = 0 // no timer churn: flush purely by batch occupancy
+	cfg.MaxDelay = 0              // no timer churn: flush purely by batch occupancy
+	cfg.AdaptMax = cfg.MaxRecords // fixed batch size: runs sized in whole batches
 	out := pipeline.NewStreamOutBatched(ln.Addr().String(), cfg)
 	r := record.NewData(record.SubtypeAudio)
 	samples := make([]int16, 32)
@@ -114,7 +115,8 @@ func TestShardPathZeroAlloc(t *testing.T) {
 	go func() { runDone <- col.Run(sink) }()
 
 	flush := record.DefaultBatchConfig()
-	flush.MaxDelay = 0 // no timer churn: flush purely by batch occupancy
+	flush.MaxDelay = 0                // no timer churn: flush purely by batch occupancy
+	flush.AdaptMax = flush.MaxRecords // fixed batch size: settle() counts on whole batches draining
 	p := shard.NewPartitioner(shard.PartitionerConfig{
 		Group: "za", Epoch: 1, Legs: []string{col.Addr()}, Flush: flush,
 	})
